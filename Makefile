@@ -1,0 +1,26 @@
+# Convenience targets; everything is plain dune underneath.
+
+all:
+	dune build @all
+
+test:
+	dune runtest
+
+# Regenerate every experiment table (E1..E13 step counts + E8 wall clock).
+bench:
+	dune exec bench/main.exe
+
+examples:
+	@for e in quickstart portfolio checkpoint approximate_agreement \
+	          aggregate_board readonly_transactions consensus; do \
+	  echo "== examples/$$e =="; dune exec examples/$$e.exe; echo; done
+
+# The artifacts referenced by EXPERIMENTS.md.
+pin-outputs:
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+clean:
+	dune clean
+
+.PHONY: all test bench examples pin-outputs clean

@@ -1,0 +1,66 @@
+(* Command-line runner for the step-count experiments (E1..E7).
+
+     dune exec bin/experiments.exe -- --list
+     dune exec bin/experiments.exe -- -e e3a -e e6 --seeds 20
+     dune exec bin/experiments.exe -- --csv > results.csv
+
+   The wall-clock benchmarks (E8) live in bench/main.exe. *)
+
+module Experiments = Psnap_harness.Experiments
+module Table = Psnap_harness.Table
+
+let run only seeds csv list_only =
+  if list_only then begin
+    List.iter (fun (name, _) -> print_endline name) Experiments.by_name;
+    0
+  end
+  else
+    let selected =
+      match only with
+      | [] -> Experiments.by_name
+      | names ->
+        List.filter_map
+          (fun n ->
+            match List.assoc_opt n Experiments.by_name with
+            | Some e -> Some (n, e)
+            | None ->
+              Printf.eprintf "unknown experiment %S (try --list)\n" n;
+              exit 2)
+          names
+    in
+    List.iter
+      (fun (_, e) ->
+        let table = e ?seeds ()
+        in
+        if csv then print_endline (Table.to_csv table) else Table.print table)
+      selected;
+    0
+
+open Cmdliner
+
+let only =
+  Arg.(
+    value & opt_all string []
+    & info [ "e"; "experiment" ] ~docv:"NAME"
+        ~doc:"Run only experiment $(docv) (repeatable). Default: all.")
+
+let seeds =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seeds" ] ~docv:"N"
+        ~doc:"Number of seeded executions per configuration.")
+
+let csv =
+  Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of tables.")
+
+let list_only =
+  Arg.(value & flag & info [ "list" ] ~doc:"List experiment names and exit.")
+
+let cmd =
+  let doc = "step-count experiments for the partial snapshot reproduction" in
+  Cmd.v
+    (Cmd.info "experiments" ~doc)
+    Term.(const run $ only $ seeds $ csv $ list_only)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,200 @@
+(* Interactive workload driver: run any implementation under any scheduler
+   with exact step accounting and optional history validation, straight
+   from the command line.
+
+     dune exec bin/simulate.exe -- --impl fig3 -m 64 -r 8 \
+         --updaters 4 --scanners 2 --sched starve --seeds 20 --check
+
+   Prints per-operation step statistics, contention measures, and (with
+   --check) runs the observation-based linearizability checker on every
+   execution. *)
+
+open Psnap
+module Table = Psnap_harness.Table
+
+let impls : (string * (module Snapshot.S)) list =
+  [
+    ("afek", (module Sim_afek));
+    ("fig1", (module Sim_fig1));
+    ("fig1-adaptive", (module Sim_fig1_adaptive));
+    ("fig1-small", (module Sim_fig1_small));
+    ("fig3", (module Sim_fig3));
+    ("fig3-small", (module Sim_fig3_small));
+    ("fig3-bounded-aset", (module Sim_fig3_bounded_aset));
+    ("farray", (module Sim_farray));
+    ("nonblocking", (module Sim_nonblocking));
+  ]
+
+let scheds = [ "random"; "bursty"; "starve"; "pct"; "round-robin" ]
+
+let sched_of name ~scanner_pids ~seed =
+  match name with
+  | "random" -> Scheduler.random ~seed ()
+  | "bursty" -> Scheduler.bursty ~seed ()
+  | "starve" -> Scheduler.starve ~victims:scanner_pids ~seed ()
+  | "pct" -> Scheduler.pct ~seed ~expected_steps:2000 ()
+  | "round-robin" -> Scheduler.round_robin ()
+  | s ->
+    Printf.eprintf "unknown scheduler %S (choose from: %s)\n" s
+      (String.concat ", " scheds);
+    exit 2
+
+let run impl_name m r updaters updates scanners scans sched_name seeds check
+    crash_at =
+  let (module S : Snapshot.S) =
+    match List.assoc_opt impl_name impls with
+    | Some m -> m
+    | None ->
+      Printf.eprintf "unknown implementation %S (choose from: %s)\n" impl_name
+        (String.concat ", " (List.map fst impls));
+      exit 2
+  in
+  if r > m then (
+    Printf.eprintf "r (%d) must be <= m (%d)\n" r m;
+    exit 2);
+  let n = updaters + scanners in
+  let scanner_pids = List.init scanners (fun j -> updaters + j) in
+  let init = Array.init m (fun i -> -(i + 1)) in
+  let violations = ref 0 in
+  let samples = ref [] in
+  let worst_collects = ref 0 in
+  for seed = 0 to seeds - 1 do
+    let rec_ = Metrics.create () in
+    let hist = History.create ~now:Sim.mark () in
+    let t = S.create ~n (Array.copy init) in
+    let handles = Array.init n (fun pid -> S.handle t ~pid) in
+    let updater pid () =
+      for k = 1 to updates do
+        let i = (k + (pid * 7)) mod m in
+        let v = (pid * 1_000_000) + k in
+        Metrics.measure rec_ ~pid ~kind:"update" (fun () ->
+            if check then
+              ignore
+                (History.record hist ~pid (Snapshot_spec.Update (i, v))
+                   (fun () ->
+                     S.update handles.(pid) i v;
+                     Snapshot_spec.Ack))
+            else S.update handles.(pid) i v)
+      done
+    in
+    let scanner pid () =
+      let idxs =
+        Array.init r (fun k -> ((pid - updaters) + (k * (m / max r 1))) mod m)
+        |> Array.to_list |> List.sort_uniq compare |> Array.of_list
+      in
+      for _ = 1 to scans do
+        Metrics.measure rec_ ~pid ~kind:"scan" (fun () ->
+            if check then
+              ignore
+                (History.record hist ~pid (Snapshot_spec.Scan idxs) (fun () ->
+                     Snapshot_spec.Vals (S.scan handles.(pid) idxs)))
+            else ignore (S.scan handles.(pid) idxs));
+        worst_collects :=
+          max !worst_collects (S.last_scan_collects handles.(pid))
+      done
+    in
+    let procs =
+      Array.init n (fun pid -> if pid < updaters then updater pid else scanner pid)
+    in
+    let sched =
+      let base = sched_of sched_name ~scanner_pids ~seed in
+      match crash_at with
+      | Some at_clock -> Scheduler.with_crash ~pid:0 ~at_clock base
+      | None -> base
+    in
+    ignore (Sim.run ~sched procs);
+    samples := Metrics.samples rec_ :: !samples;
+    if check then
+      violations :=
+        !violations
+        + List.length
+            (Snapshot_spec.check_observations ~init (History.entries hist))
+  done;
+  let all = List.concat !samples in
+  let of_kind k = List.filter (fun (s : Metrics.sample) -> s.kind = k) all in
+  let row kind =
+    let ss = of_kind kind in
+    [
+      kind;
+      string_of_int (List.length ss);
+      Printf.sprintf "%.1f" (Metrics.mean_steps ss);
+      string_of_int (Metrics.max_steps ss);
+    ]
+  in
+  Table.print
+    (Table.make
+       ~title:
+         (Printf.sprintf "%s: m=%d r=%d %d updaters x %d, %d scanners x %d, %s, %d seeds%s"
+            S.name m r updaters updates scanners scans sched_name seeds
+            (match crash_at with
+            | Some c -> Printf.sprintf ", crash p0@%d" c
+            | None -> ""))
+       ~header:[ "operation"; "count"; "mean steps"; "worst steps" ]
+       [ row "update"; row "scan" ]);
+  Printf.printf "worst collects per scan: %d\n" !worst_collects;
+  let cu =
+    List.fold_left
+      (fun acc per_run ->
+        max acc
+          (Metrics.max_interval_contention
+             ~over:(fun s -> s.Metrics.kind = "scan")
+             per_run))
+      0 !samples
+  in
+  Printf.printf "max interval contention seen by a scan: %d\n" cu;
+  if check then
+    if !violations = 0 then
+      Printf.printf "checker: all %d executions linearizable (observation check)\n" seeds
+    else begin
+      Printf.printf "checker: %d VIOLATIONS\n" !violations;
+      exit 1
+    end;
+  0
+
+open Cmdliner
+
+let impl =
+  Arg.(
+    value & opt string "fig3"
+    & info [ "impl" ] ~docv:"NAME"
+        ~doc:
+          (Printf.sprintf "Implementation: %s."
+             (String.concat ", " (List.map fst impls))))
+
+let m = Arg.(value & opt int 64 & info [ "m" ] ~doc:"Vector size.")
+
+let r = Arg.(value & opt int 8 & info [ "r" ] ~doc:"Components per scan.")
+
+let updaters = Arg.(value & opt int 3 & info [ "updaters" ] ~doc:"Updater processes.")
+
+let updates = Arg.(value & opt int 30 & info [ "updates" ] ~doc:"Updates per updater.")
+
+let scanners = Arg.(value & opt int 2 & info [ "scanners" ] ~doc:"Scanner processes.")
+
+let scans = Arg.(value & opt int 8 & info [ "scans" ] ~doc:"Scans per scanner.")
+
+let sched =
+  Arg.(
+    value & opt string "random"
+    & info [ "sched" ]
+        ~doc:(Printf.sprintf "Scheduler: %s." (String.concat ", " scheds)))
+
+let seeds = Arg.(value & opt int 10 & info [ "seeds" ] ~doc:"Seeded executions.")
+
+let check =
+  Arg.(value & flag & info [ "check" ] ~doc:"Validate histories (observation checker).")
+
+let crash_at =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "crash-at" ] ~docv:"CLOCK" ~doc:"Crash process 0 at this step.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"drive partial snapshot workloads in the simulator")
+    Term.(
+      const run $ impl $ m $ r $ updaters $ updates $ scanners $ scans $ sched
+      $ seeds $ check $ crash_at)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,3 @@
+(* Compile-time checks that both implementations satisfy the signature. *)
+module _ : Activeset_intf.S = Bounded.Make (Psnap_mem.Mem_atomic)
+module _ : Activeset_intf.S = Fai_cas.Make (Psnap_mem.Mem_atomic)

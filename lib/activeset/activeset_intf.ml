@@ -1,0 +1,33 @@
+(** The active set abstraction (Section 2.1 of the paper).
+
+    Maintains a group with dynamic membership: a process [join]s, is
+    {e active} once its join completes, [leave]s, and is {e inactive} once
+    the leave completes.  [get_set] returns a set of process ids containing
+    every process active throughout the operation, no process inactive
+    throughout it, and any subset of the processes that are joining or
+    leaving meanwhile.
+
+    [join] and [leave] calls of one process must alternate, starting with a
+    [join] (enforced by assertions on the per-process handle). *)
+
+module type S = sig
+  type t
+
+  type handle
+  (** Per-process state; one per (object, process id). *)
+
+  val name : string
+
+  val create : n:int -> unit -> t
+  (** [n] is the number of processes (ignored by implementations that do not
+      need a bound). *)
+
+  val handle : t -> pid:int -> handle
+
+  val join : handle -> unit
+
+  val leave : handle -> unit
+
+  val get_set : t -> int list
+  (** Current members, sorted ascending, duplicate-free. *)
+end

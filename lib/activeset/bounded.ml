@@ -1,0 +1,40 @@
+(** The straightforward register-only active set for a known bound of [n]
+    processes: one single-writer flag per process.
+
+    [join]/[leave] are one step; [get_set] always takes [n] steps — it is
+    not adaptive.  This is the baseline against which Figure 2's algorithm
+    is compared (experiment E7), and the register-only active set used to
+    instantiate the Figure 1 snapshot (the paper uses the adaptive collect
+    of Afek, Stupp and Touitou there; this module is the non-adaptive but
+    register-only stand-in, see DESIGN.md §6). *)
+
+module Make (M : Psnap_mem.Mem_intf.S) : Activeset_intf.S = struct
+  type t = { flags : bool M.ref_ array }
+
+  type handle = { t : t; pid : int; mutable joined : bool }
+
+  let name = "bounded"
+
+  let create ~n () =
+    { flags = Array.init n (fun i -> M.make ~name:(Printf.sprintf "A[%d]" i) false) }
+
+  let handle t ~pid = { t; pid; joined = false }
+
+  let join h =
+    assert (not h.joined);
+    h.joined <- true;
+    M.write h.t.flags.(h.pid) true
+
+  let leave h =
+    assert h.joined;
+    h.joined <- false;
+    M.write h.t.flags.(h.pid) false
+
+  let get_set t =
+    let n = Array.length t.flags in
+    let rec go acc pid =
+      if pid < 0 then acc
+      else go (if M.read t.flags.(pid) then pid :: acc else acc) (pid - 1)
+    in
+    go [] (n - 1)
+end

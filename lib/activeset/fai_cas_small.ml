@@ -1,0 +1,88 @@
+(** The small-objects variant of the Figure 2 active set, per the remark
+    after Theorem 2: "we can instead store the list of intervals in a set
+    of O(C) registers and store in C a pointer to this set of registers.
+    This just adds O(C) steps to the complexity of getSet operations but it
+    ensures that all objects used are of a reasonable size."
+
+    The compare&swap object [C] holds a pointer to an immutable array of
+    single-interval registers; a getSet reads the intervals one register at
+    a time and publishes its improved list by writing a fresh register
+    array and CASing the pointer. *)
+
+module Interval_set = Psnap_interval.Interval_set
+
+module Make (M : Psnap_mem.Mem_intf.S) : Activeset_intf.S = struct
+  module Slots = Psnap_mem.Infinite_array.Make (M)
+
+  type entry = Empty | Occupied of int | Vacated
+
+  type skip_list = (int * int) M.ref_ array
+  (** sorted, coalesced intervals, one per small register *)
+
+  type t = {
+    slots : entry Slots.t;
+    next : int M.ref_;
+    skips : skip_list M.ref_;
+  }
+
+  type handle = { t : t; pid : int; mutable slot : int }
+
+  let name = "fai-cas-small"
+
+  let create ~n:_ () =
+    {
+      slots = Slots.create ~name:"I" Empty;
+      next = M.make ~name:"H" 0;
+      skips = M.make ~name:"C" [||];
+    }
+
+  let handle t ~pid = { t; pid; slot = -1 }
+
+  let join h =
+    assert (h.slot < 0);
+    let l = M.fetch_and_add h.t.next 1 in
+    Slots.write h.t.slots l (Occupied h.pid);
+    h.slot <- l
+
+  let leave h =
+    assert (h.slot >= 0);
+    Slots.write h.t.slots h.slot Vacated;
+    h.slot <- -1
+
+  (* one read per interval register: the O(C) surcharge of the remark *)
+  let read_skips (regs : skip_list) =
+    Array.fold_left
+      (fun s r ->
+        let lo, hi = M.read r in
+        Interval_set.add_range ~lo ~hi s)
+      Interval_set.empty regs
+
+  (* one write per interval register: fresh registers, then publish *)
+  let publish_skips s : skip_list =
+    Array.of_list
+      (List.map
+         (fun (lo, hi) ->
+           let r = M.make (lo, hi) in
+           M.write r (lo, hi);
+           r)
+         (Interval_set.intervals s))
+
+  let get_set t =
+    let old_regs = M.read t.skips in
+    let old_skips = read_skips old_regs in
+    let h = M.read t.next in
+    let members = ref [] in
+    let new_skips = ref old_skips in
+    if h > 0 then
+      Interval_set.fold_gaps ~lo:0 ~hi:(h - 1)
+        (fun () j ->
+          match Slots.read t.slots j with
+          | Vacated -> new_skips := Interval_set.add j !new_skips
+          | Occupied pid -> members := pid :: !members
+          | Empty -> ())
+        () old_skips;
+    (if not (Interval_set.equal !new_skips old_skips) then
+       let fresh = publish_skips !new_skips in
+       ignore (M.cas t.skips ~expected:old_regs ~desired:fresh));
+    List.sort_uniq compare !members
+end

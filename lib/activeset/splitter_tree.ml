@@ -1,0 +1,105 @@
+(** A register-only, contention-adaptive active set in the spirit of Afek,
+    Stupp and Touitou's adaptive collect [3] — the building block Section 3
+    of the paper prescribes for Figure 1's announcements ("We use an active
+    set algorithm [3]").
+
+    Structure: an unbounded binary tree of Moir–Anderson {e splitters}.  On
+    its {e first} join, a process walks from the root, entering the
+    splitter at each node: at most one process {e stops} per splitter, and
+    of [k] processes entering, at most [k-1] are sent right and at most
+    [k-1] down — so a process stops within depth [k] when [k] processes
+    acquire concurrently.  The stop node becomes the process's {e owned
+    node}, forever; later joins and all leaves just toggle the node's mark
+    in O(1) steps, like the long-lived collect of [3].
+
+    [get_set] walks the [used]-flagged part of the tree (nodes some walk
+    has touched) and gathers the marked owners: its cost adapts to the
+    total acquisition contention seen so far — at most quadratic in the
+    number of {e distinct} joiners, independent of [n] — rather than to the
+    process bound like {!Bounded}, and unlike Figure 2 it needs no stronger
+    primitive than reads and writes.  The trade-offs among the three active
+    sets are measured in experiment E7/E2 terms by the test suites.
+
+    Splitter code per node (one-shot, standard):
+    {v
+      X := id                      (* 1 write  *)
+      if Y then go right           (* 1 read   *)
+      Y := true                    (* 1 write  *)
+      if X = id then stop          (* 1 read   *)
+      else go down
+    v} *)
+
+module Make (M : Psnap_mem.Mem_intf.S) : Activeset_intf.S = struct
+  module Arr = Psnap_mem.Infinite_array.Make (M)
+
+  type t = {
+    x : int Arr.t;  (** splitter X per node; -1 = unset *)
+    y : bool Arr.t;  (** splitter Y per node *)
+    used : bool Arr.t;  (** some walk touched this node *)
+    owner : int Arr.t;  (** pid that stopped here; -1 = none *)
+    mark : bool Arr.t;  (** owner currently active *)
+  }
+
+  type handle = { t : t; pid : int; mutable node : int; mutable joined : bool }
+  (** [node = -1] until the first join acquires an owned node. *)
+
+  let name = "splitter-tree"
+
+  (* root at index 1; down child 2u, right child 2u+1 *)
+  let create ~n:_ () =
+    {
+      x = Arr.create ~name:"X" (-1);
+      y = Arr.create ~name:"Y" false;
+      used = Arr.create ~name:"U" false;
+      owner = Arr.create ~name:"O" (-1);
+      mark = Arr.create ~name:"M" false;
+    }
+
+  let handle t ~pid = { t; pid; node = -1; joined = false }
+
+  let max_depth = 60
+
+  let acquire h =
+    let t = h.t in
+    let rec walk u depth =
+      if depth > max_depth then
+        failwith "Splitter_tree: walk exceeded depth bound";
+      Arr.write t.used u true;
+      Arr.write t.x u h.pid;
+      if Arr.read t.y u then walk ((2 * u) + 1) (depth + 1)
+      else begin
+        Arr.write t.y u true;
+        if Arr.read t.x u = h.pid then begin
+          Arr.write t.owner u h.pid;
+          h.node <- u
+        end
+        else walk (2 * u) (depth + 1)
+      end
+    in
+    walk 1 0
+
+  let join h =
+    assert (not h.joined);
+    h.joined <- true;
+    if h.node < 0 then acquire h;
+    Arr.write h.t.mark h.node true
+
+  let leave h =
+    assert h.joined;
+    h.joined <- false;
+    Arr.write h.t.mark h.node false
+
+  let get_set t =
+    let members = ref [] in
+    let rec dfs u =
+      if Arr.read t.used u then begin
+        (if Arr.read t.mark u then
+           let p = Arr.read t.owner u in
+           if p >= 0 then members := p :: !members);
+        dfs (2 * u);
+        dfs ((2 * u) + 1)
+      end
+    in
+    dfs 1;
+    List.sort_uniq compare !members
+end

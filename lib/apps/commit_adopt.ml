@@ -1,0 +1,76 @@
+(** Commit–adopt built on a partial snapshot object — the paper's
+    introduction cites snapshots as "a building block for ... randomized
+    consensus [6, 7]"; commit–adopt (Gafni's graded agreement) is the
+    canonical such block, and is used by [examples/consensus.ml] to build a
+    full randomized consensus.
+
+    [propose h ~pid v] grades its outcome, with the wait-free guarantees:
+
+    - {b validity}: the carried value is some process's proposal;
+    - {b convergence}: if every participant proposes the same [v], every
+      outcome is [Commit v];
+    - {b agreement}: if {e any} process returns [Commit w], every other
+      process returns [Commit w] or [Adopt w] — never [Free _] — so a
+      protocol that re-proposes the carried value can only ever commit [w];
+    - [Free v] (no grade-1 evidence seen) tells a randomized consensus
+      layer it is safe to replace [v] by a coin flip: no process can have
+      committed in this instance before the [Free] holder's second scan.
+
+    The two rounds live in one partial snapshot object of [2n] components —
+    each round's scan is a declared-subset partial scan of [n] of them,
+    exactly the access pattern partial snapshots make cheap. *)
+
+module Make (S : Psnap.Snapshot.S) = struct
+  type 'v slot = Empty | R1 of 'v | R2 of bool * 'v
+
+  type 'v t = { snap : 'v slot S.t; n : int }
+
+  type 'v handle = { t : 'v t; h : 'v slot S.handle }
+
+  type 'v outcome =
+    | Commit of 'v  (** decided *)
+    | Adopt of 'v  (** must carry this value forward *)
+    | Free of 'v  (** own value; no one can have committed — a coin may
+                      replace it *)
+
+  let value_of = function Commit v | Adopt v | Free v -> v
+
+  let committed = function Commit _ -> true | Adopt _ | Free _ -> false
+
+  let create ~n () =
+    { snap = S.create ~n (Array.make (2 * n) Empty); n }
+
+  let handle t ~pid = { t; h = S.handle t.snap ~pid }
+
+  let propose hd ~pid v =
+    let n = hd.t.n in
+    let round1 = Array.init n (fun q -> q) in
+    let round2 = Array.init n (fun q -> n + q) in
+    (* round 1: post my proposal, scan the proposals *)
+    S.update hd.h pid (R1 v);
+    let seen = S.scan hd.h round1 in
+    let proposals =
+      Array.to_list seen
+      |> List.filter_map (function
+           | R1 w | R2 (_, w) -> Some w
+           | Empty -> None)
+    in
+    let unanimous =
+      match proposals with
+      | [] -> true
+      | w :: rest -> List.for_all (fun x -> x = w) rest
+    in
+    (* round 2: post (all-agreed?, value), scan round 2 *)
+    S.update hd.h (n + pid) (R2 (unanimous, v));
+    let seen2 = S.scan hd.h round2 in
+    let grades =
+      Array.to_list seen2
+      |> List.filter_map (function
+           | R2 (g, w) -> Some (g, w)
+           | R1 _ | Empty -> None)
+    in
+    match List.find_opt (fun (g, _) -> g) grades with
+    | Some (_, w) ->
+      if List.for_all (fun (g, _) -> g) grades then Commit w else Adopt w
+    | None -> Free v
+end

@@ -1,0 +1,61 @@
+(** A small typed key-value facade over the partial snapshot object — the
+    downstream-user face of the library: named keys, single-key writes, and
+    atomic multi-key reads with a declared key set (the stock-database shape
+    of the paper's introduction: unpredictable queries over overlapping
+    subsets of a large table).
+
+    Keys are fixed at creation (the snapshot object has a fixed [m]); each
+    key maps to one component.  [get_many] is one partial scan: its cost
+    depends only on the number of keys asked for, not the table size. *)
+
+module Make (S : Psnap.Snapshot.S) = struct
+  type ('k, 'v) t = {
+    snap : 'v S.t;
+    index : ('k, int) Hashtbl.t;
+    keys : 'k array;
+  }
+
+  type ('k, 'v) handle = { t : ('k, 'v) t; h : 'v S.handle }
+
+  (** [create ~n bindings] — a store for the given keys and initial values,
+      shared by [n] processes.  Duplicate keys are rejected. *)
+  let create ~n bindings =
+    let keys = Array.of_list (List.map fst bindings) in
+    let init = Array.of_list (List.map snd bindings) in
+    let index = Hashtbl.create (Array.length keys) in
+    Array.iteri
+      (fun i k ->
+        if Hashtbl.mem index k then invalid_arg "Kv.create: duplicate key";
+        Hashtbl.add index k i)
+      keys;
+    { snap = S.create ~n init; index; keys }
+
+  let handle t ~pid = { t; h = S.handle t.snap ~pid }
+
+  let component t k =
+    match Hashtbl.find_opt t.index k with
+    | Some i -> i
+    | None -> invalid_arg "Kv: unknown key"
+
+  let set hd k v = S.update hd.h (component hd.t k) v
+
+  (** Atomic read of one key (a one-component partial scan). *)
+  let get hd k = (S.scan hd.h [| component hd.t k |]).(0)
+
+  (** Atomic read of several keys at a single instant.  Duplicates allowed;
+      results align with the request. *)
+  let get_many hd ks =
+    let idxs = Array.of_list (List.map (component hd.t) ks) in
+    let vals = S.scan hd.h idxs in
+    List.mapi (fun i k -> (k, vals.(i))) ks
+
+  (** Atomic read of everything (a full snapshot). *)
+  let get_all hd =
+    let m = Array.length hd.t.keys in
+    let vals = S.scan hd.h (Array.init m (fun i -> i)) in
+    Array.to_list (Array.map2 (fun k v -> (k, v)) hd.t.keys vals)
+
+  let keys t = Array.to_list t.keys
+
+  let mem t k = Hashtbl.mem t.index k
+end

@@ -1,0 +1,40 @@
+(** One-shot lattice agreement from a snapshot object.
+
+    Lattice agreement and atomic snapshots are two faces of the same
+    problem: Attiya, Herlihy and Rachman [10] build snapshots {e from}
+    lattice agreement (Section 5 of the paper); this module is the easy
+    direction — given a linearizable snapshot, lattice agreement is one
+    update plus one scan.  Each process proposes a lattice element and
+    decides a value such that
+
+    - {b validity}: its own proposal ≤ its decision ≤ the join of all
+      proposals made so far;
+    - {b comparability}: any two decisions are ordered by ≤.
+
+    Comparability is exactly the containment ordering of linearizable
+    scans: a later scan sees a superset of the proposals an earlier one
+    saw, so the joins form a chain.  With partial snapshots the instance
+    can live inside a larger vector and only scan its own components.
+
+    The lattice is supplied as [bottom]/[join]; e.g. sets with union, or
+    integer vectors with pointwise max. *)
+
+module Make (S : Psnap.Snapshot.S) = struct
+  type 'v t = { snap : 'v S.t; n : int; join : 'v -> 'v -> 'v }
+
+  type 'v handle = { t : 'v t; pid : int; h : 'v S.handle }
+
+  (** [create ~n ~bottom ~join ()] — an instance for [n] processes over the
+      join-semilattice ([bottom], [join]). *)
+  let create ~n ~bottom ~join () =
+    { snap = S.create ~n (Array.make n bottom); n; join }
+
+  let handle t ~pid = { t; pid; h = S.handle t.snap ~pid }
+
+  (** [propose h x] — publish [x] and decide the join of everything
+      visible.  At most one call per process (one-shot). *)
+  let propose hd x =
+    S.update hd.h hd.pid x;
+    let seen = S.scan hd.h (Array.init hd.t.n (fun q -> q)) in
+    Array.fold_left hd.t.join x seen
+end

@@ -1,0 +1,41 @@
+(** Concurrent timestamping from snapshots — the introduction of the paper
+    lists timestamping [16] among the classic snapshot applications.
+
+    [next h] returns a globally ordered label [(counter, pid)]: it scans
+    all announcement components atomically, picks one past the maximum, and
+    publishes it.  The snapshot's linearizability gives the {e monotonicity}
+    property timestamping needs: if one [next] completes before another
+    begins, the later one returns a strictly larger label.  Concurrent
+    calls may be ordered either way but always receive distinct labels
+    (ties broken by process id). *)
+
+module Make (S : Psnap.Snapshot.S) = struct
+  type t = { snap : int S.t; n : int }
+
+  type handle = { t : t; pid : int; h : int S.handle }
+
+  type label = { counter : int; pid : int }
+
+  let compare_label a b =
+    match compare a.counter b.counter with
+    | 0 -> compare a.pid b.pid
+    | c -> c
+
+  let create ~n () = { snap = S.create ~n (Array.make n 0); n }
+
+  let handle t ~pid = { t; pid; h = S.handle t.snap ~pid }
+
+  let next hd =
+    let all = Array.init hd.t.n (fun q -> q) in
+    let seen = S.scan hd.h all in
+    let counter = 1 + Array.fold_left max 0 seen in
+    S.update hd.h hd.pid counter;
+    { counter; pid = hd.pid }
+
+  (** The largest label issued so far (by any completed [next]); like
+      [next] without publishing. *)
+  let current hd =
+    let all = Array.init hd.t.n (fun q -> q) in
+    let seen = S.scan hd.h all in
+    Array.fold_left max 0 seen
+end

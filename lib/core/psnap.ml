@@ -1,0 +1,172 @@
+(** Public facade of the partial-snapshot library.
+
+    The paper's objects — partial snapshots (Section 2.1) and active sets —
+    are provided as functors over a shared-memory backend, plus pre-applied
+    instances for the two backends:
+
+    - {!Sim_*}: the step-counting simulator (use inside
+      {!Sim.run}); this is the backend on which the paper's complexity
+      theorems are validated.
+    - {!Mc_*}: OCaml 5 atomics, for real multi-domain programs.
+
+    Quick start (multicore backend):
+    {[
+      module S = Psnap.Mc_fig3
+      let t = S.create ~n:4 (Array.make 1024 0)
+      (* in domain/process [pid]: *)
+      let h = S.handle t ~pid
+      let () = S.update h 17 42
+      let values = S.scan h [| 3; 17; 512 |]
+    ]} *)
+
+(** Shared-memory backends. *)
+module Mem = struct
+  module type S = Psnap_mem.Mem_intf.S
+
+  module Atomic = Psnap_mem.Mem_atomic
+  module Sim = Psnap_sched.Mem_sim
+  module Infinite_array = Psnap_mem.Infinite_array
+end
+
+(** Simulation kernel: the asynchronous shared-memory machine. *)
+module Sim = Psnap_sched.Sim
+
+module Scheduler = Psnap_sched.Scheduler
+module Explore = Psnap_sched.Explore
+module Metrics = Psnap_sched.Metrics
+module Event = Psnap_sched.Event
+module Trace = Psnap_sched.Trace
+module Interval_set = Psnap_interval.Interval_set
+
+(** Histories and correctness checkers. *)
+module History = Psnap_history.History
+
+module Lin_check = Psnap_history.Lin_check
+module Snapshot_spec = Psnap_history.Snapshot_spec
+module Activeset_check = Psnap_history.Activeset_check
+
+(** The active set abstraction and its implementations. *)
+module Active_set = struct
+  module type S = Psnap_activeset.Activeset_intf.S
+
+  (** Figure 2: fetch&increment + compare&swap; O(1) join/leave. *)
+  module Fai_cas = Psnap_activeset.Fai_cas.Make
+
+  (** Figure 2 with the interval list behind a pointer to small registers
+      (remark after Theorem 2). *)
+  module Fai_cas_small = Psnap_activeset.Fai_cas_small.Make
+
+  (** Baseline: one flag register per process; O(n) getSet. *)
+  module Bounded = Psnap_activeset.Bounded.Make
+
+  (** Register-only adaptive active set from a tree of splitters, in the
+      spirit of the paper's reference [3] — the building block Figure 1
+      prescribes. *)
+  module Splitter_tree = Psnap_activeset.Splitter_tree.Make
+end
+
+(** The partial snapshot object and its implementations. *)
+module Snapshot = struct
+  module type S = Psnap_snapshot.Snapshot_intf.S
+
+  module View = Psnap_snapshot.View
+  module View_repr = Psnap_snapshot.View_repr
+  module Tag = Psnap_snapshot.Tag
+  module Collect = Psnap_snapshot.Collect
+  module Announce = Psnap_snapshot.Announce
+
+  (** Figure 3 — the paper's main algorithm: local O(r²) scans. *)
+  module Fig3 = Psnap_snapshot.Partial_cas.Make
+
+  (** Figure 3 with views in small registers (remark after Theorem 3). *)
+  module Fig3_small = Psnap_snapshot.Partial_cas.Make_small
+
+  (** Figure 1 — partial snapshot from registers. *)
+  module Fig1 = Psnap_snapshot.Partial_register.Make
+
+  (** Figure 1 with views in small registers (remark after Theorem 1). *)
+  module Fig1_small = Psnap_snapshot.Partial_register.Make_small
+
+  (** Afek et al. full snapshot; partial scan = projection (the trivial
+      implementation the paper's introduction argues against). *)
+  module Afek = Psnap_snapshot.Afek.Make
+
+  (** Jayanti's f-array specialised to snapshots (related work, Section 5):
+      O(1) scans, Theta(log m) large-object LL/SC updates. *)
+  module Farray = Psnap_snapshot.Farray_snapshot.Make
+
+  (** The helping-free double-collect variant Section 3 starts from:
+      linearizable and non-blocking but {e not} wait-free. *)
+  module Nonblocking = Psnap_snapshot.Partial_nonblocking.Make
+
+  (** Single-writer/single-scanner restriction (related work [22]): O(1)
+      updates, O(r) partial scans. *)
+  module Single_scanner = Psnap_snapshot.Single_scanner.Make
+
+  (** One-shot immediate snapshot (Borowsky–Gafni levels; the sibling
+      object of reference [4]): views with self-inclusion, containment and
+      immediacy, from registers only. *)
+  module Immediate = Psnap_snapshot.Immediate.Make
+
+  exception Starved = Psnap_snapshot.Partial_nonblocking.Starved
+end
+
+(** The generic f-array (aggregate any [combine] over the components) and
+    the LL/SC primitive it is built on. *)
+module Farray = Psnap_snapshot.Farray
+
+module Llsc = Psnap_mem.Llsc
+
+(* ---- Pre-applied instances: simulator backend ---- *)
+
+module Sim_aset_fai = Psnap_activeset.Fai_cas.Make (Mem.Sim)
+module Sim_aset_fai_small = Psnap_activeset.Fai_cas_small.Make (Mem.Sim)
+module Sim_aset_bounded = Psnap_activeset.Bounded.Make (Mem.Sim)
+module Sim_aset_farray = Psnap_snapshot.Farray_activeset.Make (Mem.Sim)
+module Sim_aset_splitter = Psnap_activeset.Splitter_tree.Make (Mem.Sim)
+module Sim_fig1 = Psnap_snapshot.Partial_register.Make (Mem.Sim) (Sim_aset_bounded)
+
+(** Figure 1 exactly as Section 3 prescribes: registers only, with an
+    {e adaptive} active set in the spirit of [3]. *)
+module Sim_fig1_adaptive =
+  Psnap_snapshot.Partial_register.Make (Mem.Sim) (Sim_aset_splitter)
+module Sim_fig3 = Psnap_snapshot.Partial_cas.Make (Mem.Sim) (Sim_aset_fai)
+module Sim_afek = Psnap_snapshot.Afek.Make (Mem.Sim)
+module Sim_farray = Psnap_snapshot.Farray_snapshot.Make (Mem.Sim)
+module Sim_nonblocking = Psnap_snapshot.Partial_nonblocking.Make (Mem.Sim)
+module Sim_single_scanner = Psnap_snapshot.Single_scanner.Make (Mem.Sim)
+
+(** Small-registers variants (the remarks after Theorems 1-3). *)
+module Sim_fig1_small =
+  Psnap_snapshot.Partial_register.Make_small (Mem.Sim) (Sim_aset_bounded)
+
+module Sim_fig3_small =
+  Psnap_snapshot.Partial_cas.Make_small (Mem.Sim) (Sim_aset_fai_small)
+
+(** Ablation: Figure 3's snapshot machinery with the non-adaptive bounded
+    active set instead of Figure 2's. *)
+module Sim_fig3_bounded_aset =
+  Psnap_snapshot.Partial_cas.Make (Mem.Sim) (Sim_aset_bounded)
+
+(* ---- Pre-applied instances: multicore (Atomic) backend ---- *)
+
+module Mc_aset_fai = Psnap_activeset.Fai_cas.Make (Mem.Atomic)
+module Mc_aset_fai_small = Psnap_activeset.Fai_cas_small.Make (Mem.Atomic)
+module Mc_aset_bounded = Psnap_activeset.Bounded.Make (Mem.Atomic)
+module Mc_aset_splitter = Psnap_activeset.Splitter_tree.Make (Mem.Atomic)
+module Mc_fig1 = Psnap_snapshot.Partial_register.Make (Mem.Atomic) (Mc_aset_bounded)
+
+module Mc_fig1_adaptive =
+  Psnap_snapshot.Partial_register.Make (Mem.Atomic) (Mc_aset_splitter)
+
+module Mc_fig1_small =
+  Psnap_snapshot.Partial_register.Make_small (Mem.Atomic) (Mc_aset_bounded)
+
+module Mc_fig3 = Psnap_snapshot.Partial_cas.Make (Mem.Atomic) (Mc_aset_fai)
+
+module Mc_fig3_small =
+  Psnap_snapshot.Partial_cas.Make_small (Mem.Atomic) (Mc_aset_fai_small)
+
+module Mc_afek = Psnap_snapshot.Afek.Make (Mem.Atomic)
+module Mc_farray = Psnap_snapshot.Farray_snapshot.Make (Mem.Atomic)
+module Mc_nonblocking = Psnap_snapshot.Partial_nonblocking.Make (Mem.Atomic)

@@ -1,0 +1,45 @@
+(** First-class-module-friendly wrapper around a snapshot implementation:
+    one handle per process, exposed as closures so experiment code can hold
+    several implementations in one list. *)
+
+type obj = {
+  update : pid:int -> int -> int -> unit;
+  scan : pid:int -> int array -> int array;
+  last_collects : pid:int -> int;
+}
+
+type t = { name : string; create : n:int -> int array -> obj }
+
+let of_module (module S : Psnap.Snapshot.S) =
+  let create ~n init =
+    let t = S.create ~n init in
+    let handles = Array.init n (fun pid -> S.handle t ~pid) in
+    {
+      update = (fun ~pid i v -> S.update handles.(pid) i v);
+      scan = (fun ~pid idxs -> S.scan handles.(pid) idxs);
+      last_collects = (fun ~pid -> S.last_scan_collects handles.(pid));
+    }
+  in
+  { name = S.name; create }
+
+(** The simulator-backed implementations, in comparison order. *)
+let sim_all : t list =
+  [
+    of_module (module Psnap.Sim_afek);
+    of_module (module Psnap.Sim_fig1);
+    of_module (module Psnap.Sim_fig3);
+  ]
+
+let sim_fig1 = of_module (module Psnap.Sim_fig1)
+
+let sim_fig3 = of_module (module Psnap.Sim_fig3)
+
+let sim_afek = of_module (module Psnap.Sim_afek)
+
+let sim_fig3_bounded = of_module (module Psnap.Sim_fig3_bounded_aset)
+
+let sim_fig1_small = of_module (module Psnap.Sim_fig1_small)
+
+let sim_fig3_small = of_module (module Psnap.Sim_fig3_small)
+
+let sim_farray = of_module (module Psnap.Sim_farray)

@@ -1,0 +1,32 @@
+(** First-class-module-friendly wrapper around a snapshot implementation:
+    one handle per process, exposed as closures so experiment code can hold
+    several implementations in one list without abstract-type escapes. *)
+
+type obj = {
+  update : pid:int -> int -> int -> unit;  (** pid, component, value *)
+  scan : pid:int -> int array -> int array;
+  last_collects : pid:int -> int;
+}
+
+type t = { name : string; create : n:int -> int array -> obj }
+
+val of_module : (module Psnap.Snapshot.S) -> t
+
+(** Simulator-backed instances used by the experiment tables. *)
+
+val sim_all : t list
+(** afek, fig1, fig3 — the main comparison set *)
+
+val sim_fig1 : t
+
+val sim_fig3 : t
+
+val sim_afek : t
+
+val sim_fig3_bounded : t
+
+val sim_fig1_small : t
+
+val sim_fig3_small : t
+
+val sim_farray : t

@@ -1,0 +1,44 @@
+(** Fixed-width ASCII tables for the experiment reports. *)
+
+type t = { title : string; header : string list; rows : string list list }
+
+let make ~title ~header rows = { title; header; rows }
+
+let widths t =
+  let all = t.header :: t.rows in
+  let cols = List.length t.header in
+  List.init cols (fun c ->
+      List.fold_left
+        (fun w row ->
+          match List.nth_opt row c with
+          | Some cell -> max w (String.length cell)
+          | None -> w)
+        0 all)
+
+let print ?(out = Format.std_formatter) t =
+  let ws = widths t in
+  let pad w s = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let line row =
+    String.concat "  " (List.map2 pad ws row)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') ws)
+  in
+  Format.fprintf out "@.== %s ==@." t.title;
+  Format.fprintf out "%s@.%s@." (line t.header) sep;
+  List.iter (fun row -> Format.fprintf out "%s@." (line row)) t.rows;
+  Format.fprintf out "@."
+
+let to_csv t =
+  let quote s =
+    if String.contains s ',' then "\"" ^ s ^ "\"" else s
+  in
+  String.concat "\n"
+    (List.map (fun row -> String.concat "," (List.map quote row))
+       (t.header :: t.rows))
+
+let f1 x = Printf.sprintf "%.1f" x
+
+let f2 x = Printf.sprintf "%.2f" x
+
+let i = string_of_int

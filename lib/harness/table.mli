@@ -1,0 +1,17 @@
+(** Fixed-width ASCII tables for the experiment reports. *)
+
+type t = { title : string; header : string list; rows : string list list }
+
+val make : title:string -> header:string list -> string list list -> t
+
+val print : ?out:Format.formatter -> t -> unit
+
+val to_csv : t -> string
+
+(** Cell formatting helpers. *)
+
+val f1 : float -> string
+
+val f2 : float -> string
+
+val i : int -> string

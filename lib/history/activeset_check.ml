@@ -1,0 +1,118 @@
+(** Validity checker for active set histories (definition in Section 2.1 of
+    the paper).
+
+    From each process's alternating join/leave entries we derive:
+
+    - {e surely-active} spans: from a join's response to the following
+      leave's invocation (unbounded if no leave follows);
+    - {e surely-inactive} spans: before the first join's invocation, and
+      from a leave's response to the following join's invocation.
+
+    A [getSet] returning [S] over interval [\[inv, resp\]] is valid iff [S]
+    contains every process with a surely-active span covering the whole
+    interval and no process with a surely-inactive span covering it.
+    Processes joining or leaving concurrently (including those whose
+    operation is pending forever — crashed) may appear or not. *)
+
+type op = Join | Leave | Get_set
+
+type res = Ack | Set of int list
+
+let pp_op ppf = function
+  | Join -> Fmt.string ppf "join"
+  | Leave -> Fmt.string ppf "leave"
+  | Get_set -> Fmt.string ppf "getSet"
+
+let pp_res ppf = function
+  | Ack -> Fmt.string ppf "ack"
+  | Set s -> Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma int) s
+
+type violation = {
+  get_set : (op, res) History.entry;
+  pid : int;
+  missing : bool;  (** true: surely-active pid absent; false: surely-inactive pid present *)
+}
+
+let pp_violation ppf v =
+  Fmt.pf ppf "%a: p%d %s" (History.pp pp_op pp_res) v.get_set v.pid
+    (if v.missing then "surely active but missing" else "surely inactive but present")
+
+type span = { from_ : int; until : int }
+
+let covers s ~inv ~resp = s.from_ <= inv && resp <= s.until
+
+(* Build surely-active and surely-inactive spans for one process from its
+   join/leave entries in invocation order.  After a pending (crashed)
+   operation the process is joining/leaving "forever": neither active nor
+   inactive, so no further spans are produced. *)
+let spans_of_pid (entries : (op, res) History.entry list) =
+  let active = ref [] and inactive = ref [] in
+  let rec go inactive_since = function
+    | [] -> inactive := { from_ = inactive_since; until = max_int } :: !inactive
+    | (j : (op, res) History.entry) :: rest -> (
+      if j.op <> Join then
+        invalid_arg "Activeset_check: join/leave do not alternate";
+      inactive := { from_ = inactive_since; until = j.inv } :: !inactive;
+      match j.resp with
+      | None -> ()
+      | Some joined -> (
+        match rest with
+        | [] -> active := { from_ = joined; until = max_int } :: !active
+        | (l : (op, res) History.entry) :: rest' -> (
+          if l.op <> Leave then
+            invalid_arg "Activeset_check: join/leave do not alternate";
+          active := { from_ = joined; until = l.inv } :: !active;
+          match l.resp with None -> () | Some left -> go left rest')))
+  in
+  go min_int entries;
+  (!active, !inactive)
+
+let check (h : (op, res) History.entry list) : violation list =
+  let pids =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (e : (op, res) History.entry) ->
+           match e.op with Join | Leave -> Some e.pid | Get_set -> None)
+         h)
+  in
+  let spans =
+    List.map
+      (fun pid ->
+        let mine =
+          List.filter
+            (fun (e : (op, res) History.entry) ->
+              e.pid = pid && e.op <> Get_set)
+            h
+          |> List.sort (fun (a : (op, res) History.entry) b -> compare a.inv b.inv)
+        in
+        (pid, spans_of_pid mine))
+      pids
+  in
+  let violations = ref [] in
+  List.iter
+    (fun (e : (op, res) History.entry) ->
+      match (e.op, e.res, e.resp) with
+      | Get_set, Some (Set s), Some resp ->
+        (* A pid that never joined at all is surely inactive. *)
+        List.iter
+          (fun p ->
+            if not (List.mem p pids) then
+              violations := { get_set = e; pid = p; missing = false } :: !violations)
+          s;
+        List.iter
+          (fun (pid, (active, inactive)) ->
+            let in_result = List.mem pid s in
+            let surely_active =
+              List.exists (fun sp -> covers sp ~inv:e.inv ~resp) active
+            in
+            let surely_inactive =
+              List.exists (fun sp -> covers sp ~inv:e.inv ~resp) inactive
+            in
+            if surely_active && not in_result then
+              violations := { get_set = e; pid; missing = true } :: !violations;
+            if surely_inactive && in_result then
+              violations := { get_set = e; pid; missing = false } :: !violations)
+          spans
+      | _ -> ())
+    h;
+  List.rev !violations

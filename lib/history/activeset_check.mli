@@ -1,0 +1,32 @@
+(** Validity checker for active set histories (Section 2.1 of the paper).
+
+    From each process's alternating join/leave entries the checker derives
+    {e surely-active} spans (join response → next leave invocation) and
+    {e surely-inactive} spans (leave response → next join invocation, and
+    before the first join).  A [getSet] returning [S] over interval
+    [\[inv, resp\]] is valid iff [S] contains every process surely active
+    throughout the interval and no process surely inactive throughout it;
+    processes joining or leaving concurrently — including crashed ones,
+    which are transitioning forever — may appear either way. *)
+
+type op = Join | Leave | Get_set
+
+type res = Ack | Set of int list
+
+val pp_op : op Fmt.t
+
+val pp_res : res Fmt.t
+
+type violation = {
+  get_set : (op, res) History.entry;
+  pid : int;
+  missing : bool;
+      (** [true]: surely-active pid absent; [false]: surely-inactive pid
+          present *)
+}
+
+val pp_violation : violation Fmt.t
+
+(** Empty result = valid.  [Invalid_argument] on malformed histories
+    (join/leave not alternating per process). *)
+val check : (op, res) History.entry list -> violation list

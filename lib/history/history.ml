@@ -1,0 +1,66 @@
+(** Operation histories: the raw material of linearizability checking.
+
+    A {!recorder} collects invocation/response events with strictly
+    increasing timestamps supplied by the caller (the simulator's
+    {!Psnap_sched.Sim.mark}, or an atomic counter on real hardware).  An
+    operation whose process crashes mid-flight stays {e pending}: its entry
+    has a [resp = None], exactly the "incomplete operations" of the paper's
+    linearizability definition (Section 2). *)
+
+type ('op, 'res) entry = {
+  pid : int;
+  op : 'op;
+  res : 'res option;
+  inv : int;
+  resp : int option;
+}
+
+let is_pending e = e.resp = None
+
+type ('op, 'res) cell = {
+  c_pid : int;
+  c_op : 'op;
+  mutable c_res : 'res option;
+  c_inv : int;
+  mutable c_resp : int option;
+}
+
+type ('op, 'res) t = {
+  now : unit -> int;
+  mutable cells : ('op, 'res) cell list;  (** reversed *)
+}
+
+let create ~now () = { now; cells = [] }
+
+(** [record t ~pid op f] logs the invocation of [op], runs [f], and logs the
+    response.  If [f] never returns (crash), the entry stays pending. *)
+let record t ~pid op f =
+  let c =
+    { c_pid = pid; c_op = op; c_res = None; c_inv = t.now (); c_resp = None }
+  in
+  t.cells <- c :: t.cells;
+  let r = f () in
+  (* Response timestamp before publishing the result, so [resp] is a point
+     inside the operation's real interval. *)
+  c.c_resp <- Some (t.now ());
+  c.c_res <- Some r;
+  r
+
+(** Completed and pending entries, in invocation order. *)
+let entries t =
+  List.rev_map
+    (fun c ->
+      { pid = c.c_pid; op = c.c_op; res = c.c_res; inv = c.c_inv; resp = c.c_resp })
+    t.cells
+
+let length t = List.length t.cells
+
+(** [precedes a b]: [a] responded before [b] was invoked (real-time
+    order). *)
+let precedes a b = match a.resp with Some r -> r < b.inv | None -> false
+
+let pp pp_op pp_res ppf e =
+  Fmt.pf ppf "p%d %a -> %a [%d,%s]" e.pid pp_op e.op
+    (Fmt.option ~none:(Fmt.any "pending") pp_res)
+    e.res e.inv
+    (match e.resp with Some r -> string_of_int r | None -> "-")

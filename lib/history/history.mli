@@ -1,0 +1,40 @@
+(** Operation histories: the raw material of linearizability checking.
+
+    A recorder collects invocation/response events with strictly increasing
+    timestamps supplied by the caller (the simulator's
+    [Psnap_sched.Sim.mark], or an atomic counter on real hardware).  An
+    operation whose process crashes mid-flight stays {e pending}: its entry
+    has [resp = None] — the "incomplete operations" of the paper's
+    linearizability definition (Section 2). *)
+
+type ('op, 'res) entry = {
+  pid : int;
+  op : 'op;
+  res : 'res option;
+  inv : int;
+  resp : int option;
+}
+
+val is_pending : ('op, 'res) entry -> bool
+
+type ('op, 'res) t
+(** A recorder.  Not thread-safe: use one per process/domain and merge the
+    entry lists (timestamps give the global order). *)
+
+val create : now:(unit -> int) -> unit -> ('op, 'res) t
+
+(** [record t ~pid op f] logs the invocation of [op], runs [f], logs the
+    response, and passes the result through.  If [f] never returns (crash)
+    the entry stays pending. *)
+val record : ('op, 'res) t -> pid:int -> 'op -> (unit -> 'res) -> 'res
+
+(** Completed and pending entries, in invocation order. *)
+val entries : ('op, 'res) t -> ('op, 'res) entry list
+
+val length : ('op, 'res) t -> int
+
+(** [precedes a b] — [a] responded before [b] was invoked (real-time
+    order). *)
+val precedes : ('op, 'res) entry -> ('op, 'res) entry -> bool
+
+val pp : 'op Fmt.t -> 'res Fmt.t -> ('op, 'res) entry Fmt.t

@@ -1,0 +1,34 @@
+(** A Wing–Gong-style exact linearizability checker.
+
+    Decides whether a finite history is linearizable with respect to a
+    sequential specification: is there a choice of linearization points —
+    one per completed operation, inside its invocation/response interval,
+    and optionally one per pending operation — whose sequential execution
+    produces exactly the observed responses?  This is the paper's
+    correctness condition (Section 2), checked by exhaustive search with
+    memoization on (set of linearized operations, abstract state).
+
+    Worst-case exponential (the problem is NP-hard in general); intended
+    for the short histories produced by the schedule-exploration tests. *)
+
+module type SPEC = sig
+  type state
+
+  type op
+
+  type res
+
+  val apply : state -> op -> state * res
+
+  val equal_res : res -> res -> bool
+end
+
+module Make (S : SPEC) : sig
+  type entry = (S.op, S.res) History.entry
+
+  exception Too_long of int
+  (** Histories longer than 62 entries exceed the bitmask memoization. *)
+
+  (** [check ~init h] — true iff [h] is linearizable from state [init]. *)
+  val check : init:S.state -> entry list -> bool
+end

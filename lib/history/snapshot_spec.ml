@@ -1,0 +1,191 @@
+(** Sequential specification of the partial snapshot object over integer
+    values, plus two checkers:
+
+    - {!Checker}: exact linearizability via {!Lin_check} (for short
+      histories);
+    - {!check_observations}: a sound {e necessary-condition} checker for
+      long histories whose written values are globally unique, so that each
+      scanned value identifies the update that produced it.  It verifies,
+      per scan, that the read versions are not from the future, not
+      provably overwritten, mutually consistent with a single linearization
+      point, and monotone across real-time-ordered scans.  Any reported
+      violation is a genuine linearizability violation (no false alarms);
+      it does not catch every violation — the exact checker covers that on
+      small cases. *)
+
+type op = Update of int * int | Scan of int array
+
+type res = Ack | Vals of int array
+
+let pp_op ppf = function
+  | Update (i, v) -> Fmt.pf ppf "update(%d,%d)" i v
+  | Scan idxs ->
+    Fmt.pf ppf "scan(%a)" Fmt.(array ~sep:comma int) idxs
+
+let pp_res ppf = function
+  | Ack -> Fmt.string ppf "ack"
+  | Vals vs -> Fmt.pf ppf "(%a)" Fmt.(array ~sep:comma int) vs
+
+module Spec = struct
+  type state = int array
+
+  type nonrec op = op
+
+  type nonrec res = res
+
+  let apply st = function
+    | Update (i, v) ->
+      let st' = Array.copy st in
+      st'.(i) <- v;
+      (st', Ack)
+    | Scan idxs -> (st, Vals (Array.map (fun i -> st.(i)) idxs))
+
+  let equal_res a b = a = b
+end
+
+module Checker = Lin_check.Make (Spec)
+
+let check ~init h = Checker.check ~init h
+
+(* ---- Observation-based necessary-condition checker ---- *)
+
+type violation = {
+  scan : (op, res) History.entry;
+  component : int;
+  reason : string;
+}
+
+let pp_violation ppf v =
+  Fmt.pf ppf "component %d of %a: %s" v.component
+    (History.pp pp_op pp_res)
+    v.scan v.reason
+
+(* Pseudo-entry interval for initial values: before every operation. *)
+let init_inv = -1
+
+let init_resp = -1
+
+let check_observations ~init (h : (op, res) History.entry list) :
+    violation list =
+  (* writer table: value -> (component, inv, resp_or_max) *)
+  let writers : (int, int * int * int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun i v ->
+      if Hashtbl.mem writers v then
+        invalid_arg "check_observations: initial values must be unique";
+      Hashtbl.add writers v (i, init_inv, init_resp))
+    init;
+  let updates_by_component : (int, (int * int * int) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  Array.iteri (fun i v -> Hashtbl.add updates_by_component i [ (v, init_inv, init_resp) ]) init;
+  List.iter
+    (fun (e : (op, res) History.entry) ->
+      match e.op with
+      | Update (i, v) ->
+        if Hashtbl.mem writers v then
+          invalid_arg "check_observations: written values must be unique";
+        let resp = Option.value e.resp ~default:max_int in
+        Hashtbl.add writers v (i, e.inv, resp);
+        let l = try Hashtbl.find updates_by_component i with Not_found -> [] in
+        Hashtbl.replace updates_by_component i ((v, e.inv, resp) :: l)
+      | Scan _ -> ())
+    h;
+  let violations = ref [] in
+  let bad scan component reason =
+    violations := { scan; component; reason } :: !violations
+  in
+  let scans =
+    List.filter_map
+      (fun (e : (op, res) History.entry) ->
+        match (e.op, e.res) with
+        | Scan idxs, Some (Vals vs) -> Some (e, idxs, vs)
+        | _ -> None)
+      h
+  in
+  (* Per-scan checks. *)
+  List.iter
+    (fun ((e : (op, res) History.entry), idxs, vs) ->
+      let resp = Option.value e.resp ~default:max_int in
+      (* Resolve each returned value to its writing update. *)
+      let versions =
+        Array.map2
+          (fun i v ->
+            match Hashtbl.find_opt writers v with
+            | None ->
+              bad e i (Printf.sprintf "returned value %d never written" v);
+              None
+            | Some (i', winv, wresp) ->
+              if i' <> i then (
+                bad e i
+                  (Printf.sprintf "value %d belongs to component %d" v i');
+                None)
+              else Some (v, winv, wresp))
+          idxs vs
+      in
+      (* (1) no reads from the future *)
+      Array.iteri
+        (fun k -> function
+          | Some (v, winv, _) when winv >= resp ->
+            bad e idxs.(k)
+              (Printf.sprintf "value %d written by an update invoked after the scan responded" v)
+          | _ -> ())
+        versions;
+      (* earliest possible linearization point of the scan *)
+      let t_lo =
+        Array.fold_left
+          (fun acc -> function Some (_, winv, _) -> max acc winv | None -> acc)
+          e.inv versions
+      in
+      (* (2)+(3) overwrite: some update W on component i lies entirely after
+         the read version and entirely before every possible linearization
+         point of the scan *)
+      Array.iteri
+        (fun k version ->
+          match version with
+          | None -> ()
+          | Some (v, _, vresp) ->
+            let i = idxs.(k) in
+            let others = try Hashtbl.find updates_by_component i with Not_found -> [] in
+            List.iter
+              (fun (w, winv, wresp) ->
+                if w <> v && winv > vresp && wresp < t_lo then
+                  bad e i
+                    (Printf.sprintf
+                       "stale read: value %d was overwritten by %d before the scan could linearize"
+                       v w))
+              others)
+        versions)
+    scans;
+  (* (4) monotonicity across real-time-ordered scans *)
+  let resolved =
+    List.map
+      (fun (e, idxs, vs) ->
+        let m = Hashtbl.create 8 in
+        Array.iteri
+          (fun k i ->
+            match Hashtbl.find_opt writers vs.(k) with
+            | Some (i', winv, wresp) when i' = i -> Hashtbl.replace m i (vs.(k), winv, wresp)
+            | _ -> ())
+          idxs;
+        (e, m))
+      scans
+  in
+  List.iter
+    (fun ((e1 : (op, res) History.entry), m1) ->
+      List.iter
+        (fun ((e2 : (op, res) History.entry), m2) ->
+          if History.precedes e1 e2 then
+            Hashtbl.iter
+              (fun i (v1, w1inv, _) ->
+                match Hashtbl.find_opt m2 i with
+                | Some (v2, _, w2resp) when v2 <> v1 && w2resp < w1inv ->
+                  bad e2 i
+                    (Printf.sprintf
+                       "non-monotone: later scan saw %d which precedes %d seen by an earlier scan"
+                       v2 v1)
+                | _ -> ())
+              m1)
+        resolved)
+    resolved;
+  List.rev !violations

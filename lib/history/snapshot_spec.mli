@@ -1,0 +1,47 @@
+(** Sequential specification of the partial snapshot object over integer
+    values, plus two checkers:
+
+    - {!check}: exact linearizability via {!Lin_check} (short histories);
+    - {!check_observations}: a sound {e necessary-condition} checker for
+      long histories whose written values are globally unique, so each
+      scanned value identifies the update that produced it.  It verifies,
+      per scan, that read versions are not from the future, not provably
+      overwritten, mutually consistent with one linearization point, and
+      monotone across real-time-ordered scans.  Any reported violation is a
+      genuine linearizability violation (no false alarms); it does not
+      catch every violation — the exact checker covers that on small
+      cases. *)
+
+type op = Update of int * int | Scan of int array
+
+type res = Ack | Vals of int array
+
+val pp_op : op Fmt.t
+
+val pp_res : res Fmt.t
+
+module Spec :
+  Lin_check.SPEC with type state = int array and type op = op and type res = res
+
+module Checker : sig
+  type entry = (op, res) History.entry
+
+  exception Too_long of int
+
+  val check : init:int array -> entry list -> bool
+end
+
+val check : init:int array -> (op, res) History.entry list -> bool
+
+type violation = {
+  scan : (op, res) History.entry;
+  component : int;
+  reason : string;
+}
+
+val pp_violation : violation Fmt.t
+
+(** Requires all initial and written values to be globally unique
+    ([Invalid_argument] otherwise). *)
+val check_observations :
+  init:int array -> (op, res) History.entry list -> violation list

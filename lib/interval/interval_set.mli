@@ -1,0 +1,58 @@
+(** Sets of integers represented as sorted lists of disjoint, coalesced
+    closed intervals [\[lo, hi\]].
+
+    This is the data structure stored in the compare&swap object [C] of the
+    active set algorithm of Figure 2 in the paper: the set of array indices
+    known to be permanently vacated.  The representation invariant —
+    intervals sorted by [lo], pairwise disjoint, and non-adjacent (so the
+    representation is canonical) — is exactly the "coalesced, kept in sorted
+    order" requirement of Section 4.1.
+
+    All operations are purely functional; values are immutable and can be
+    installed in a CAS object compared by physical equality. *)
+
+type t
+
+val empty : t
+
+val is_empty : t -> bool
+
+(** [add i s] inserts the single index [i], coalescing with any adjacent or
+    containing interval.  O(k) where k is the number of intervals. *)
+val add : int -> t -> t
+
+(** [add_range ~lo ~hi s] inserts all of [\[lo, hi\]].  Raises
+    [Invalid_argument] if [lo > hi]. *)
+val add_range : lo:int -> hi:int -> t -> t
+
+val mem : int -> t -> bool
+
+(** [union a b] — O(|a| + |b|) merge with coalescing. *)
+val union : t -> t -> t
+
+(** Number of intervals in the representation (length of the list the CAS
+    object stores; the paper bounds it by Theta(C)). *)
+val interval_count : t -> int
+
+(** Number of integers contained in the set. *)
+val cardinal : t -> int
+
+(** Intervals in increasing order. *)
+val intervals : t -> (int * int) list
+
+val of_intervals : (int * int) list -> t
+
+(** [fold_gaps ~lo ~hi f init s] folds [f] over every integer of [\[lo, hi\]]
+    that is {e not} in [s], in increasing order.  This is the traversal a
+    [getSet] performs: it visits exactly the entries of [I] not covered by a
+    skip interval. *)
+val fold_gaps : lo:int -> hi:int -> ('a -> int -> 'a) -> 'a -> t -> 'a
+
+(** Structural equality (the representation is canonical, so this is set
+    equality). *)
+val equal : t -> t -> bool
+
+(** Representation invariant check, used by the property-based tests. *)
+val invariant_ok : t -> bool
+
+val pp : t Fmt.t

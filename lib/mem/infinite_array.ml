@@ -1,0 +1,64 @@
+(* The unbounded register array I[1..] of the active set algorithm
+   (Figure 2).  The paper simply assumes an infinite array; a real shared
+   memory provides one as a directory of chunks installed on demand with
+   compare&swap.  Slot accesses cost O(1) extra steps (one directory read);
+   installing a chunk costs one extra CAS, charged to the join that triggers
+   it.
+
+   Chunks double in size, so the directory itself is a small fixed array:
+   chunk c covers indices [2^c - 1, 2^(c+1) - 2] relative to [base_bits].
+   With 60 chunks the array is effectively unbounded. *)
+
+module Make (M : Mem_intf.S) = struct
+  type 'a t = {
+    dir : 'a chunk option M.ref_ array;
+    default : 'a;
+  }
+
+  and 'a chunk = 'a M.ref_ array
+
+  let max_chunks = 60
+
+  let create ?(name = "inf") default =
+    let dir =
+      Array.init max_chunks (fun c ->
+          M.make ~name:(Printf.sprintf "%s.dir%d" name c) None)
+    in
+    { dir; default }
+
+  (* chunk c has size 2^c and starts at global index 2^c - 1 *)
+  let locate i =
+    if i < 0 then invalid_arg "Infinite_array: negative index";
+    let c = ref 0 and base = ref 0 and size = ref 1 in
+    while i >= !base + !size do
+      base := !base + !size;
+      size := !size * 2;
+      incr c
+    done;
+    (!c, i - !base)
+
+  let chunk_size c = 1 lsl c
+
+  (* Local allocation costs no steps; the CAS install is one step.  If the
+     install loses a race, the winner's chunk is used. *)
+  let get_chunk t c =
+    match M.read t.dir.(c) with
+    | Some ch -> ch
+    | None ->
+      let fresh =
+        Some (Array.init (chunk_size c) (fun _ -> M.make t.default))
+      in
+      if M.cas t.dir.(c) ~expected:None ~desired:fresh then
+        match fresh with Some ch -> ch | None -> assert false
+      else (
+        match M.read t.dir.(c) with
+        | Some ch -> ch
+        | None -> assert false (* once installed, never removed *))
+
+  let cell t i =
+    let c, off = locate i in
+    (get_chunk t c).(off)
+
+  let read t i = M.read (cell t i)
+  let write t i v = M.write (cell t i) v
+end

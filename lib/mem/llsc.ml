@@ -1,0 +1,32 @@
+(** Load-linked/store-conditional emulated over compare&swap.
+
+    Every successful SC installs a freshly allocated box, so a CAS against
+    the box returned by LL succeeds exactly when no SC intervened — the
+    standard ABA-free emulation of LL/SC in a garbage-collected runtime.
+    Used by the f-array of Jayanti [20], which the paper discusses in its
+    related work (Section 5).
+
+    LL costs one step, SC one step; validate is SC without effect. *)
+
+module Make (M : Mem_intf.S) = struct
+  type 'a box = { v : 'a }
+
+  type 'a t = 'a box M.ref_
+
+  type 'a tag = 'a box
+  (** witness returned by {!ll}, consumed by {!sc} *)
+
+  let make ?name v : 'a t = M.make ?name { v }
+
+  (** [ll t] — the current value and the tag to validate against. *)
+  let ll (t : 'a t) =
+    let b = M.read t in
+    (b.v, b)
+
+  (** [sc t tag v] — store [v] iff no successful SC happened since the LL
+      that returned [tag]. *)
+  let sc (t : 'a t) (tag : 'a tag) v = M.cas t ~expected:tag ~desired:{ v }
+
+  (** Plain read (no reservation). *)
+  let read (t : 'a t) = (M.read t).v
+end

@@ -1,0 +1,3 @@
+(* Compile-time check that the simulator backend satisfies the shared-memory
+   signature the algorithms are functorized over. *)
+module _ : Psnap_mem.Mem_intf.S = Mem_sim

@@ -1,0 +1,18 @@
+(** Events recorded by the simulator when tracing is enabled. *)
+
+type mem_op = Read | Write | Cas | Faa
+
+type t =
+  | Step of { pid : int; oid : int; obj_name : string; op : mem_op; clock : int }
+  | Crash of { pid : int; clock : int }
+
+let pp_mem_op ppf = function
+  | Read -> Fmt.string ppf "read"
+  | Write -> Fmt.string ppf "write"
+  | Cas -> Fmt.string ppf "cas"
+  | Faa -> Fmt.string ppf "f&a"
+
+let pp ppf = function
+  | Step { pid; oid; obj_name; op; clock } ->
+    Fmt.pf ppf "%6d p%d %a %s#%d" clock pid pp_mem_op op obj_name oid
+  | Crash { pid; clock } -> Fmt.pf ppf "%6d p%d CRASH" clock pid

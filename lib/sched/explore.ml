@@ -1,0 +1,31 @@
+(** Bounded exhaustive exploration of schedules.
+
+    The paper requires algorithms to "behave correctly for all possible
+    interleavings" (Section 2).  For small configurations we can check that
+    literally: enumerate {e every} schedule by depth-first search over
+    scheduler choices, re-running the program from scratch with a forced
+    prefix (one-shot continuations cannot be backtracked, so this is the
+    stateless-model-checking approach).
+
+    [run ~make ()] calls [make ()] to obtain a fresh program instance —
+    an array of process bodies plus a [check] run after each completed
+    execution — and explores all interleavings.  Returns the number of
+    complete executions checked. *)
+
+exception Too_many_runs of int
+
+let run ?(max_runs = 2_000_000) ~make () =
+  let completed = ref 0 in
+  let rec dfs prefix =
+    let procs, check = make () in
+    let res = Sim.run ~sched:(Scheduler.replay (List.rev prefix)) procs in
+    match res.outcome with
+    | Sim.Completed ->
+      incr completed;
+      if !completed > max_runs then raise (Too_many_runs !completed);
+      check ()
+    | Sim.Stopped runnable ->
+      Array.iter (fun pid -> dfs (pid :: prefix)) runnable
+  in
+  dfs [];
+  !completed

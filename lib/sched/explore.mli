@@ -1,0 +1,20 @@
+(** Bounded exhaustive exploration of schedules (stateless model checking).
+
+    The paper requires algorithms to "behave correctly for all possible
+    interleavings" (Section 2); for small configurations this module checks
+    that literally, enumerating {e every} interleaving by depth-first
+    search over scheduler choices and re-running the program from scratch
+    with each forced prefix. *)
+
+exception Too_many_runs of int
+
+(** [run ~make ()] — [make ()] must build a {e fresh} program instance: the
+    process array plus a [check] thunk executed after each complete
+    execution (raise to fail).  Returns the number of complete executions
+    checked.  Raises {!Too_many_runs} beyond [max_runs] completed
+    executions (default two million). *)
+val run :
+  ?max_runs:int ->
+  make:(unit -> (unit -> unit) array * (unit -> unit)) ->
+  unit ->
+  int

@@ -1,0 +1,45 @@
+(* The MEM backend that turns every shared access into one simulator step.
+   Must be used from code running inside Sim.run; the Step effect is handled
+   by the simulation kernel.
+
+   The suspension happens *before* the access: [Sim.step] performs the
+   effect, and the code after it — the actual read/write/CAS — executes
+   atomically when the scheduler resumes the fiber.  Since the simulator is
+   cooperative, nothing can interleave between resumption and the access. *)
+
+type 'a ref_ = { mutable v : 'a; oid : int; name : string }
+
+(* Base objects allocated since the last reset — the space measure of the
+   paper's concluding remarks ("the number of registers used ... is bounded
+   only by the number of operations performed").  Allocation costs no step;
+   this counter only supports the space experiments. *)
+let allocated = ref 0
+
+let allocations () = !allocated
+
+let reset_allocations () = allocated := 0
+
+let make ?(name = "r") v =
+  incr allocated;
+  { v; oid = Sim.fresh_oid (); name }
+
+let read r =
+  Sim.step { oid = r.oid; obj_name = r.name; op = Event.Read };
+  r.v
+
+let write r v =
+  Sim.step { oid = r.oid; obj_name = r.name; op = Event.Write };
+  r.v <- v
+
+let cas r ~expected ~desired =
+  Sim.step { oid = r.oid; obj_name = r.name; op = Event.Cas };
+  if r.v == expected then (
+    r.v <- desired;
+    true)
+  else false
+
+let fetch_and_add r k =
+  Sim.step { oid = r.oid; obj_name = r.name; op = Event.Faa };
+  let old = r.v in
+  r.v <- old + k;
+  old

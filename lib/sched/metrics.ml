@@ -1,0 +1,82 @@
+(** Per-operation step accounting and contention measures.
+
+    A {!sample} records, for one high-level operation instance (a [scan], an
+    [update], a [join], ...), how many shared-memory steps its process
+    executed on its behalf and the stamp interval during which it was
+    active.  From the intervals we compute the paper's contention measures
+    (Section 2): interval contention [C] (number of operations whose active
+    intervals overlap) and point contention [Ċ] (maximum number
+    simultaneously active). *)
+
+type sample = {
+  pid : int;
+  kind : string;
+  steps : int;
+  inv : int;  (** stamp at invocation *)
+  resp : int;  (** stamp at response *)
+}
+
+type recorder = { mutable samples : sample list; mutable count : int }
+
+let create () = { samples = []; count = 0 }
+
+let samples r = List.rev r.samples
+
+(** [measure r ~pid ~kind f] runs [f] as one operation of [pid], recording
+    its own-step count and active interval.  Must run inside [Sim.run]. *)
+let measure r ~pid ~kind f =
+  let s0 = Sim.steps_of pid in
+  let inv = Sim.mark () in
+  let y = f () in
+  let resp = Sim.mark () in
+  let s1 = Sim.steps_of pid in
+  r.samples <- { pid; kind; steps = s1 - s0; inv; resp } :: r.samples;
+  r.count <- r.count + 1;
+  y
+
+let by_kind r kind = List.filter (fun s -> s.kind = kind) (samples r)
+
+let total_steps ss = List.fold_left (fun a s -> a + s.steps) 0 ss
+
+let max_steps ss = List.fold_left (fun a s -> max a s.steps) 0 ss
+
+let mean_steps ss =
+  match ss with
+  | [] -> 0.
+  | _ -> float_of_int (total_steps ss) /. float_of_int (List.length ss)
+
+let overlaps a b = a.inv < b.resp && b.inv < a.resp
+
+(** Interval contention of operation [s] among [all] (including [s]
+    itself, as in the paper's definition of [C(op)]). *)
+let interval_contention all s =
+  List.length (List.filter (fun o -> overlaps s o) all)
+
+(** Maximum interval contention over a set of operations. *)
+let max_interval_contention ?(over = fun (_ : sample) -> true) all =
+  List.fold_left
+    (fun acc s -> if over s then max acc (interval_contention all s) else acc)
+    0 all
+
+(** Point contention of [s]: the maximum number of operations of [all]
+    simultaneously active at some stamp within [s]'s interval.  Computed by
+    sweeping invocation/response endpoints. *)
+let point_contention all s =
+  let events =
+    List.concat_map
+      (fun o -> if overlaps s o then [ (o.inv, 1); (o.resp, -1) ] else [])
+      all
+    |> List.sort compare
+  in
+  let cur = ref 0 and best = ref 0 in
+  List.iter
+    (fun (t, d) ->
+      cur := !cur + d;
+      if t >= s.inv && t <= s.resp then best := max !best !cur)
+    events;
+  !best
+
+let max_point_contention ?(over = fun (_ : sample) -> true) all =
+  List.fold_left
+    (fun acc s -> if over s then max acc (point_contention all s) else acc)
+    0 all

@@ -1,0 +1,51 @@
+(** Per-operation step accounting and the paper's contention measures.
+
+    A {!sample} records, for one high-level operation instance (a scan, an
+    update, a join, ...), how many shared-memory steps its process executed
+    on its behalf and the stamp interval during which it was active.  From
+    the intervals the contention measures of Section 2 are computed:
+    interval contention [C] (operations whose active intervals overlap) and
+    point contention [Ċ] (maximum simultaneously active). *)
+
+type sample = {
+  pid : int;
+  kind : string;
+  steps : int;  (** own steps of this operation instance *)
+  inv : int;  (** stamp at invocation *)
+  resp : int;  (** stamp at response *)
+}
+
+type recorder
+
+val create : unit -> recorder
+
+(** [measure r ~pid ~kind f] runs [f] as one operation of [pid], recording
+    its own-step count and active interval.  Must run inside {!Sim.run}. *)
+val measure : recorder -> pid:int -> kind:string -> (unit -> 'a) -> 'a
+
+(** All samples, in recording order. *)
+val samples : recorder -> sample list
+
+val by_kind : recorder -> string -> sample list
+
+val total_steps : sample list -> int
+
+val max_steps : sample list -> int
+
+val mean_steps : sample list -> float
+
+(** [overlaps a b] — the active intervals intersect. *)
+val overlaps : sample -> sample -> bool
+
+(** Interval contention [C(op)] of [s] among [all] ([s] included, as in the
+    paper's definition). *)
+val interval_contention : sample list -> sample -> int
+
+(** Point contention [Ċ(op)] of [s]: maximum number of operations of [all]
+    simultaneously active at some stamp inside [s]'s interval. *)
+val point_contention : sample list -> sample -> int
+
+(** Maxima over all operations satisfying [over] (default: all). *)
+val max_interval_contention : ?over:(sample -> bool) -> sample list -> int
+
+val max_point_contention : ?over:(sample -> bool) -> sample list -> int

@@ -1,0 +1,214 @@
+(** Scheduling policies for the simulator.
+
+    The paper's model lets an adversary interleave the atomic steps of the
+    processes arbitrarily (Section 2).  A scheduler is asked, at every step,
+    which of the runnable processes takes the next shared-memory step; it may
+    instead crash a process (halting failure) or stop the run early (used by
+    the exhaustive explorer). *)
+
+type decision =
+  | Run of int  (** pid takes its pending step *)
+  | Crash of int  (** pid halts; its pending step is never executed *)
+  | Stop  (** abandon the run (explorer ran out of forced choices) *)
+
+type t = { name : string; pick : runnable:int array -> clock:int -> decision }
+
+let name t = t.name
+
+let pick t = t.pick
+
+let round_robin () =
+  let last = ref (-1) in
+  let pick ~runnable ~clock:_ =
+    (* smallest runnable pid strictly greater than [!last], cyclically *)
+    let n = Array.length runnable in
+    let best = ref runnable.(0) in
+    let found = ref false in
+    for i = 0 to n - 1 do
+      let p = runnable.(i) in
+      if (not !found) && p > !last then (
+        best := p;
+        found := true)
+    done;
+    last := !best;
+    Run !best
+  in
+  { name = "round-robin"; pick }
+
+let random ~seed () =
+  let st = Random.State.make [| seed |] in
+  let pick ~runnable ~clock:_ =
+    Run runnable.(Random.State.int st (Array.length runnable))
+  in
+  { name = Printf.sprintf "random(%d)" seed; pick }
+
+(** Mostly runs processes other than [victims]; a victim runs only when it is
+    alone or with probability [boost].  Models a slow scanner among fast
+    updaters (the starvation scenario motivating the helping mechanism). *)
+let starve ~victims ~seed ?(boost = 0.02) () =
+  let st = Random.State.make [| seed |] in
+  let is_victim p = List.mem p victims in
+  let pick ~runnable ~clock:_ =
+    let others = Array.to_list runnable |> List.filter (fun p -> not (is_victim p)) in
+    match others with
+    | [] -> Run runnable.(Random.State.int st (Array.length runnable))
+    | _ ->
+      if Random.State.float st 1.0 < boost then
+        Run runnable.(Random.State.int st (Array.length runnable))
+      else Run (List.nth others (Random.State.int st (List.length others)))
+  in
+  { name = "starve"; pick }
+
+(** Replays an explicit list of pids; issues [Stop] when the list is
+    exhausted and the program has not finished.  Used by {!Explore}. *)
+let replay choices =
+  let rest = ref choices in
+  let pick ~runnable ~clock:_ =
+    match !rest with
+    | [] -> Stop
+    | c :: tl ->
+      rest := tl;
+      if Array.exists (fun p -> p = c) runnable then Run c
+      else
+        (* A forced choice must be runnable: the explorer only extends
+           prefixes with pids it observed runnable. *)
+        invalid_arg "Scheduler.replay: choice not runnable"
+  in
+  { name = "replay"; pick }
+
+(** [replay_then choices fallback] replays a prefix then delegates. *)
+let replay_then choices fallback =
+  let rest = ref choices in
+  let pick ~runnable ~clock =
+    match !rest with
+    | c :: tl when Array.exists (fun p -> p = c) runnable ->
+      rest := tl;
+      Run c
+    | c :: _ ->
+      invalid_arg
+        (Printf.sprintf "Scheduler.replay_then: choice p%d not runnable" c)
+    | [] -> fallback.pick ~runnable ~clock
+  in
+  { name = "replay+" ^ fallback.name; pick }
+
+(** [with_crash ~pid ~at_clock inner] crashes [pid] the first time the clock
+    reaches [at_clock] while [pid] is runnable. *)
+let with_crash ~pid ~at_clock inner =
+  let done_ = ref false in
+  let pick ~runnable ~clock =
+    if
+      (not !done_) && clock >= at_clock
+      && Array.exists (fun p -> p = pid) runnable
+    then (
+      done_ := true;
+      Crash pid)
+    else inner.pick ~runnable ~clock
+  in
+  { name = inner.name ^ "+crash"; pick }
+
+(** Probabilistic concurrency testing (Burckhardt et al., ASPLOS 2010):
+    assign each process a random priority, always run the highest-priority
+    runnable process, and demote the running process to a fresh lowest
+    priority at [depth - 1] random change points.  For a program with [n]
+    processes and [k] steps, each run detects any bug of depth [d] with
+    probability at least [1/(n·k^(d-1))] — far better at surfacing rare
+    orderings than uniform random walks, while staying reproducible via the
+    seed. *)
+let pct ~seed ?(depth = 3) ?(expected_steps = 2000) () =
+  let st = Random.State.make [| seed |] in
+  let priorities : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let next_low = ref 0 in
+  let change_points =
+    List.init (max 0 (depth - 1)) (fun _ ->
+        1 + Random.State.int st (max 1 expected_steps))
+    |> List.sort compare
+  in
+  let remaining = ref change_points in
+  let priority p =
+    match Hashtbl.find_opt priorities p with
+    | Some x -> x
+    | None ->
+      (* initial priorities: random distinct positives *)
+      let x = 1000 + Random.State.int st 1_000_000 in
+      Hashtbl.replace priorities p x;
+      x
+  in
+  let pick ~runnable ~clock =
+    (match !remaining with
+    | cp :: rest when clock >= cp ->
+      remaining := rest;
+      (* demote the currently highest-priority runnable process *)
+      let top =
+        Array.fold_left
+          (fun best p ->
+            match best with
+            | None -> Some p
+            | Some b -> if priority p > priority b then Some p else best)
+          None runnable
+      in
+      Option.iter
+        (fun p ->
+          decr next_low;
+          Hashtbl.replace priorities p !next_low)
+        top
+    | _ -> ());
+    let best = ref runnable.(0) in
+    Array.iter (fun p -> if priority p > priority !best then best := p) runnable;
+    Run !best
+  in
+  { name = Printf.sprintf "pct(d=%d)" depth; pick }
+
+(** Deterministic burst-rotation adversary: repeatedly gives the next
+    non-victim process [burst] consecutive steps (enough to complete a whole
+    operation), then each victim [victim_steps] steps (about one collect).
+    Rotating the bursts over {e different} processes is the schedule that
+    maximizes the number of collects under Figure 1's per-process helping
+    rule: each of the victim's collects observes a change by a fresh
+    process, postponing the "two observed changes by the same process"
+    borrow for as long as possible. *)
+let rotation ~victims ~burst ~victim_steps () =
+  let phases = ref [] in
+  let next = ref 0 in
+  let pick ~runnable ~clock:_ =
+    let mem p = Array.exists (fun q -> q = p) runnable in
+    let rec take () =
+      match !phases with
+      | (p, k) :: rest when k > 0 && mem p ->
+        phases := (p, k - 1) :: rest;
+        Run p
+      | _ :: rest ->
+        phases := rest;
+        take ()
+      | [] -> (
+        let non_victims =
+          Array.to_list runnable |> List.filter (fun p -> not (List.mem p victims))
+        in
+        match non_victims with
+        | [] -> Run runnable.(0)
+        | _ ->
+          let u = List.nth non_victims (!next mod List.length non_victims) in
+          incr next;
+          phases :=
+            (u, burst) :: List.map (fun v -> (v, victim_steps)) victims;
+          take ())
+    in
+    take ()
+  in
+  { name = "rotation"; pick }
+
+(** Runs each process a random burst of consecutive steps (geometric with
+    mean [mean_burst]).  Bursty schedules are what trigger the
+    "three values from the same process" helping path. *)
+let bursty ~seed ?(mean_burst = 8) () =
+  let st = Random.State.make [| seed |] in
+  let cur = ref (-1) in
+  let left = ref 0 in
+  let pick ~runnable ~clock:_ =
+    let cur_runnable = Array.exists (fun p -> p = !cur) runnable in
+    if !left <= 0 || not cur_runnable then (
+      cur := runnable.(Random.State.int st (Array.length runnable));
+      left := 1 + Random.State.int st (2 * mean_burst));
+    decr left;
+    Run !cur
+  in
+  { name = "bursty"; pick }

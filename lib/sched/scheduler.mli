@@ -1,0 +1,54 @@
+(** Scheduling policies: the adversary of the asynchronous model.
+
+    At every step the simulator asks the scheduler which runnable process
+    executes its pending shared-memory access.  A policy may also crash a
+    process (halting failure) or stop the run (used by the exhaustive
+    explorer).  All randomized policies are seeded and replayable. *)
+
+type decision =
+  | Run of int  (** pid takes its pending step *)
+  | Crash of int  (** pid halts; its pending access never executes *)
+  | Stop  (** abandon the run *)
+
+type t = { name : string; pick : runnable:int array -> clock:int -> decision }
+
+val name : t -> string
+
+val pick : t -> runnable:int array -> clock:int -> decision
+
+(** Strict rotation over the runnable pids. *)
+val round_robin : unit -> t
+
+(** Uniform random choice at every step. *)
+val random : seed:int -> unit -> t
+
+(** Mostly runs processes other than [victims]; a victim runs only when
+    alone or with probability [boost].  Models a slow scanner among fast
+    updaters — the starvation scenario motivating the helping mechanism. *)
+val starve : victims:int list -> seed:int -> ?boost:float -> unit -> t
+
+(** Probabilistic concurrency testing (Burckhardt et al., ASPLOS 2010):
+    random priorities, highest-priority runnable runs, with [depth - 1]
+    random priority-demotion points over [expected_steps].  Finds
+    depth-[d] ordering bugs with probability ≥ 1/(n·k^(d-1)) per run. *)
+val pct : seed:int -> ?depth:int -> ?expected_steps:int -> unit -> t
+
+(** Replays an explicit pid list; [Stop]s when exhausted.  Forced choices
+    must be runnable ([Invalid_argument] otherwise). *)
+val replay : int list -> t
+
+(** Replays a prefix, then delegates to the fallback policy. *)
+val replay_then : int list -> t -> t
+
+(** Crashes [pid] the first time the clock reaches [at_clock] while [pid]
+    is runnable; otherwise delegates. *)
+val with_crash : pid:int -> at_clock:int -> t -> t
+
+(** Deterministic burst-rotation adversary: each non-victim in turn gets
+    [burst] consecutive steps, then every victim gets [victim_steps].
+    Rotating bursts across {e different} processes maximizes the collect
+    count of Figure 1's per-process helping rule. *)
+val rotation : victims:int list -> burst:int -> victim_steps:int -> unit -> t
+
+(** Random bursts of consecutive steps (geometric, mean [mean_burst]). *)
+val bursty : seed:int -> ?mean_burst:int -> unit -> t

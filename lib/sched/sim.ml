@@ -1,0 +1,195 @@
+(** The asynchronous shared-memory machine of Section 2 of the paper.
+
+    Each process is an OCaml 5 fiber.  Every access to a shared base object
+    (through {!Mem_sim}) performs the {!Step} effect, which suspends the
+    fiber; the scheduler then decides which process executes its pending
+    access next.  One resumed access = one {e step} — exactly the cost unit
+    in which Theorems 1–3 state their bounds.  Local computation is free, as
+    in the standard step-complexity measure for shared-memory algorithms.
+
+    Halting failures are modelled by dropping a fiber's continuation: the
+    process simply stops taking steps, which is precisely a crash in the
+    asynchronous model (and indistinguishable from being very slow). *)
+
+type step_info = { oid : int; obj_name : string; op : Event.mem_op }
+
+type _ Effect.t += Step : step_info -> unit Effect.t
+
+exception Out_of_steps of int
+(** Raised when a run exceeds its step budget: some process is not
+    wait-free. *)
+
+type pstate =
+  | Pending of (unit, unit) Effect.Deep.continuation * step_info
+      (** suspended at a shared access not yet executed *)
+  | Finished
+  | Crashed
+  | Failed of exn * Printexc.raw_backtrace
+
+type proc = { pid : int; mutable state : pstate; mutable steps : int }
+
+type t = {
+  procs : proc array;
+  mutable clock : int;  (** shared-memory steps executed so far *)
+  mutable stamp : int;  (** strictly increasing event counter; bumped by
+                            steps and by history marks, so operation
+                            intervals order correctly across processes *)
+  mutable trace : Event.t list;  (** reversed *)
+  record_trace : bool;
+  max_steps : int;
+  mutable oid_counter : int;
+}
+
+type outcome =
+  | Completed
+  | Stopped of int array  (** runnable pids at the moment the scheduler
+                              stopped the run (exhaustive exploration) *)
+
+type result = {
+  outcome : outcome;
+  clock : int;
+  steps : int array;  (** per-pid executed steps *)
+  crashed : int list;
+  trace : Event.t list;  (** in execution order *)
+}
+
+(* The simulator is single-threaded (all fibers run on the calling domain),
+   so a global current-instance reference is safe. *)
+let current : t option ref = ref None
+
+let get_current fn =
+  match !current with
+  | Some t -> t
+  | None -> failwith (fn ^ ": no simulation running")
+
+let clock () = (get_current "Sim.clock").clock
+
+let mark () =
+  let t = get_current "Sim.mark" in
+  t.stamp <- t.stamp + 1;
+  t.stamp
+
+let steps_of pid = (get_current "Sim.steps_of").procs.(pid).steps
+
+let fresh_oid () =
+  match !current with
+  | Some t ->
+    t.oid_counter <- t.oid_counter + 1;
+    t.oid_counter
+  | None -> 0
+
+(* Performed by Mem_sim before executing a shared access.  The access itself
+   is the code that runs after [continue]: suspension point first, operation
+   on resumption. *)
+let step info = Effect.perform (Step info)
+
+let start_fiber p f =
+  let open Effect.Deep in
+  match_with f ()
+    {
+      retc = (fun () -> p.state <- Finished);
+      exnc =
+        (fun e ->
+          let bt = Printexc.get_raw_backtrace () in
+          p.state <- Failed (e, bt));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Step info ->
+            Some
+              (fun (k : (a, _) continuation) -> p.state <- Pending (k, info))
+          | _ -> None);
+    }
+
+let runnable_pids t =
+  let l = ref [] in
+  for pid = Array.length t.procs - 1 downto 0 do
+    match t.procs.(pid).state with
+    | Pending _ -> l := pid :: !l
+    | Finished | Crashed | Failed _ -> ()
+  done;
+  Array.of_list !l
+
+let run ?(record_trace = false) ?(max_steps = 50_000_000) ~sched procs =
+  (match !current with
+  | Some _ -> failwith "Sim.run: nested simulations are not supported"
+  | None -> ());
+  let t =
+    {
+      procs = Array.mapi (fun pid _ -> { pid; state = Finished; steps = 0 }) procs;
+      clock = 0;
+      stamp = 0;
+      trace = [];
+      record_trace;
+      max_steps;
+      oid_counter = 0;
+    }
+  in
+  current := Some t;
+  let finish () = current := None in
+  let crashed = ref [] in
+  let result outcome =
+    finish ();
+    (* Surface the first process failure as the run's failure: tests must
+       see assertion errors raised inside fibers. *)
+    Array.iter
+      (fun p ->
+        match p.state with
+        | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+        | _ -> ())
+      t.procs;
+    {
+      outcome;
+      clock = t.clock;
+      steps = Array.map (fun (p : proc) -> p.steps) t.procs;
+      crashed = List.rev !crashed;
+      trace = List.rev t.trace;
+    }
+  in
+  try
+    (* Start every fiber: each runs its (step-free) local prefix and parks at
+       its first shared access, or finishes without taking any step. *)
+    Array.iteri (fun pid f -> start_fiber t.procs.(pid) f) procs;
+    let rec loop () =
+      let runnable = runnable_pids t in
+      if Array.length runnable = 0 then result Completed
+      else if t.clock >= t.max_steps then raise (Out_of_steps t.clock)
+      else
+        match Scheduler.pick sched ~runnable ~clock:t.clock with
+        | Scheduler.Stop -> result (Stopped runnable)
+        | Scheduler.Crash pid ->
+          let p = t.procs.(pid) in
+          (match p.state with
+          | Pending _ -> p.state <- Crashed
+          | _ -> failwith "Sim.run: crash of non-runnable process");
+          crashed := pid :: !crashed;
+          if t.record_trace then
+            t.trace <- Event.Crash { pid; clock = t.clock } :: t.trace;
+          loop ()
+        | Scheduler.Run pid ->
+          let p = t.procs.(pid) in
+          (match p.state with
+          | Pending (k, info) ->
+            t.clock <- t.clock + 1;
+            t.stamp <- t.stamp + 1;
+            p.steps <- p.steps + 1;
+            if t.record_trace then
+              t.trace <-
+                Event.Step
+                  {
+                    pid;
+                    oid = info.oid;
+                    obj_name = info.obj_name;
+                    op = info.op;
+                    clock = t.clock;
+                  }
+                :: t.trace;
+            (* Executes the pending access and runs until the next one. *)
+            Effect.Deep.continue k ()
+          | _ -> failwith "Sim.run: scheduled a non-runnable process");
+          loop ()
+    in
+    loop ()
+  with e ->
+    finish ();
+    raise e

@@ -1,0 +1,73 @@
+(** The asynchronous shared-memory machine of Section 2 of the paper.
+
+    Each process is an OCaml 5 fiber.  Every access to a shared base object
+    (through {!Mem_sim}) performs the {!Step} effect, which suspends the
+    fiber; the scheduler then decides which process executes its pending
+    access next.  One resumed access = one {e step} — exactly the cost unit
+    in which Theorems 1–3 of the paper state their bounds.  Local
+    computation is free, as in the standard step-complexity measure for
+    shared-memory algorithms.
+
+    Halting failures are modelled by dropping a fiber's continuation: the
+    process simply stops taking steps, which is precisely a crash in the
+    asynchronous model (and indistinguishable from being very slow).
+
+    The simulator is strictly single-threaded and deterministic given the
+    scheduler: the same seed replays the same execution. *)
+
+type step_info = { oid : int; obj_name : string; op : Event.mem_op }
+
+type _ Effect.t += Step : step_info -> unit Effect.t
+
+exception Out_of_steps of int
+(** Raised when a run exceeds its step budget: some process is looping on
+    shared accesses — a wait-freedom violation (or a budget set too low). *)
+
+type outcome =
+  | Completed
+  | Stopped of int array
+      (** runnable pids at the moment a {!Scheduler.Stop} decision ended the
+          run (used by {!Explore}) *)
+
+type result = {
+  outcome : outcome;
+  clock : int;  (** total shared-memory steps executed *)
+  steps : int array;  (** per-pid executed steps *)
+  crashed : int list;  (** pids killed by the scheduler, in kill order *)
+  trace : Event.t list;  (** execution-ordered; empty unless
+                             [record_trace] *)
+}
+
+(** [run ~sched procs] starts one fiber per element of [procs] and drives
+    them to completion (or crash) under [sched].  Exceptions raised inside
+    a fiber are re-raised here.  At most one simulation may run at a time
+    (no nesting). *)
+val run :
+  ?record_trace:bool ->
+  ?max_steps:int ->
+  sched:Scheduler.t ->
+  (unit -> unit) array ->
+  result
+
+(** {2 Callable from inside process code} *)
+
+(** Current global step count. *)
+val clock : unit -> int
+
+(** A fresh, strictly increasing event stamp; also advanced by every
+    executed step, so stamps totally order history events against steps
+    across processes.  Used by {!Metrics} and history recorders. *)
+val mark : unit -> int
+
+(** Steps executed so far by process [pid]. *)
+val steps_of : int -> int
+
+(** {2 Used by the memory backend} *)
+
+(** Suspend at a shared access; the access itself must be performed
+    immediately after this returns (i.e. when the scheduler resumes the
+    fiber). *)
+val step : step_info -> unit
+
+(** Fresh object id for traces ([0] outside a simulation). *)
+val fresh_oid : unit -> int

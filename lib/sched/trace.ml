@@ -1,0 +1,53 @@
+(** Post-mortem analysis of recorded executions ([Sim.run ~record_trace]).
+    Used by scheduler tests and for debugging: who took which steps, on
+    which objects, and how bursty the interleaving was. *)
+
+let steps (trace : Event.t list) =
+  List.filter_map
+    (function Event.Step _ as e -> Some e | Event.Crash _ -> None)
+    trace
+
+(** Executed steps per process id, ascending pid order. *)
+let steps_by_pid trace =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Event.Step { pid; _ } ->
+        Hashtbl.replace tbl pid (1 + Option.value ~default:0 (Hashtbl.find_opt tbl pid))
+      | Event.Crash _ -> ())
+    trace;
+  Hashtbl.fold (fun pid n acc -> (pid, n) :: acc) tbl []
+  |> List.sort compare
+
+(** Accesses per shared object, by (object id, name), descending count. *)
+let steps_by_object trace =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Event.Step { oid; obj_name; _ } ->
+        let key = (oid, obj_name) in
+        Hashtbl.replace tbl key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+      | Event.Crash _ -> ())
+    trace;
+  Hashtbl.fold (fun (oid, name) n acc -> (oid, name, n) :: acc) tbl []
+  |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+
+(** Number of points where the running process changes — 0 for a solo run,
+    [steps - 1] for perfect alternation.  A scheduler-character metric. *)
+let context_switches trace =
+  let rec go last n = function
+    | [] -> n
+    | Event.Step { pid; _ } :: rest ->
+      go (Some pid) (match last with Some p when p <> pid -> n + 1 | _ -> n) rest
+    | Event.Crash _ :: rest -> go last n rest
+  in
+  go None 0 trace
+
+let crashes trace =
+  List.filter_map
+    (function Event.Crash { pid; _ } -> Some pid | Event.Step _ -> None)
+    trace
+
+(** One line per event. *)
+let pp ppf trace = List.iter (Fmt.pf ppf "%a@." Event.pp) trace

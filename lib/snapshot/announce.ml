@@ -1,0 +1,28 @@
+(* The scanners' announcement board shared by Figures 1 and 3: one
+   single-writer register per process holding the sorted component set of
+   its current scan, plus the union computation an updater performs after
+   its getSet. *)
+
+module Make (M : Psnap_mem.Mem_intf.S) = struct
+  type t = { regs : int array M.ref_ array }
+
+  let create ~n =
+    {
+      regs =
+        Array.init n (fun p -> M.make ~name:(Printf.sprintf "A[%d]" p) [||]);
+    }
+
+  let announce t ~pid idxs = M.write t.regs.(pid) idxs
+
+  (* Union of the announced sets of [scanners], sorted strictly
+     increasing.  One read per scanner; the merge is local. *)
+  let union_announced t scanners =
+    let sets = List.map (fun p -> M.read t.regs.(p)) scanners in
+    let all = Array.concat sets in
+    Array.sort compare all;
+    let out = ref [] in
+    Array.iter
+      (fun i -> match !out with j :: _ when j = i -> () | _ -> out := i :: !out)
+      all;
+    Array.of_list (List.rev !out)
+end

@@ -1,0 +1,176 @@
+(** The embedded-scan engine shared by all three snapshot algorithms.
+
+    An embedded scan repeatedly {e collects} (reads) the registers of the
+    requested components until either
+
+    {ol
+    {- {b condition (1)}: two consecutive collects return identical tag
+       vectors — the values were simultaneously present, and the scan
+       linearizes between the two collects; or}
+    {- {b condition (2)}: enough distinct values have been observed to prove
+       some update's embedded view was produced entirely within this scan's
+       interval, so that view can be {e borrowed} as the result.}}
+
+    The two algorithms differ only in the borrowing rule:
+
+    - {!Make.scan_per_process} (Figure 1, registers): borrow once a process
+      has been {e observed to change} values twice ("three different values
+      written by the same process", counting the per-location baseline);
+      among those take the one with the highest counter.  Guaranteed within
+      [2·Cu + 1] collects.
+    - {!Make.scan_per_location} (Figure 3, compare&swap): borrow once three
+      distinct values have been seen in the same location; take the third
+      value seen there.  Guaranteed within [2r + 1] collects — independent
+      of contention, which is what makes Figure 3's scans local.  The rule
+      is sound only because updates install values with CAS: the third
+      value's updater must have read the second value, hence started after
+      it, hence after this scan's announcement.
+
+    The functor is parametric in the view representation {!View_repr.S}, so
+    the small-registers variants (remarks after Theorems 1 and 3) share
+    this code: a condition-(1) result is {!Fresh} (values read directly, no
+    publishing cost yet); a condition-(2) result is {!Borrowed} (a pointer
+    to the helping update's published view). *)
+
+module Make (M : Psnap_mem.Mem_intf.S) (V : View_repr.S) = struct
+  type 'a cell = { v : 'a; view : 'a V.t; tag : Tag.t }
+
+  let init_cell v = { v; view = V.empty; tag = Tag.Init }
+
+  type 'a result =
+    | Fresh of int array * 'a array  (** sorted indices and their values *)
+    | Borrowed of 'a V.t
+
+  type stats = { collects : int; borrowed : bool }
+
+  (** Publishing a result as a view an update can write next to its value:
+      free for [Borrowed] (pointer reuse), pays [V.publish] for [Fresh]. *)
+  let to_view = function
+    | Fresh (idxs, vals) -> V.publish ~idxs ~vals
+    | Borrowed view -> view
+
+  (** [extract result idxs]: the values of [idxs] (any order, duplicates
+      allowed).  Local for [Fresh]; pays [V.find_exn] per component for
+      [Borrowed]. *)
+  let extract result idxs =
+    match result with
+    | Fresh (sorted, vals) ->
+      let find i =
+        let lo = ref 0 and hi = ref (Array.length sorted - 1) in
+        let res = ref None in
+        while !lo <= !hi do
+          let mid = (!lo + !hi) / 2 in
+          if sorted.(mid) = i then begin
+            res := Some vals.(mid);
+            lo := !hi + 1
+          end
+          else if sorted.(mid) < i then lo := mid + 1
+          else hi := mid - 1
+        done;
+        match !res with
+        | Some v -> v
+        | None -> invalid_arg "Collect.extract: component not scanned"
+      in
+      Array.map find idxs
+    | Borrowed view -> Array.map (V.find_exn view) idxs
+
+  let collect regs idxs = Array.map (fun i -> M.read regs.(i)) idxs
+
+  let same_collect c1 c2 =
+    let n = Array.length c1 in
+    let rec go k = k >= n || (Tag.equal c1.(k).tag c2.(k).tag && go (k + 1)) in
+    go 0
+
+  let check_idxs idxs =
+    Array.iteri
+      (fun k i ->
+        if k > 0 && idxs.(k - 1) >= i then
+          invalid_arg "Collect: indices must be strictly increasing")
+      idxs
+
+  (* Generic double-collect loop: [note] inspects every freshly read cell
+     and returns a view to trigger condition (2). *)
+  let scan_loop (type a) regs idxs ~(note : int -> a cell -> a V.t option) :
+      a result * stats =
+    check_idxs idxs;
+    if Array.length idxs = 0 then
+      (Fresh ([||], [||]), { collects = 0; borrowed = false })
+    else
+      let exception Borrow of a V.t * int in
+      try
+        let collects = ref 0 in
+        let do_collect () =
+          let cur = collect regs idxs in
+          incr collects;
+          Array.iteri
+            (fun k c ->
+              match note k c with
+              | Some view -> raise (Borrow (view, !collects))
+              | None -> ())
+            cur;
+          cur
+        in
+        let rec go prev =
+          let cur = do_collect () in
+          if same_collect prev cur then
+            ( Fresh (Array.copy idxs, Array.map (fun c -> c.v) cur),
+              { collects = !collects; borrowed = false } )
+          else go cur
+        in
+        let first = do_collect () in
+        go first
+      with Borrow (view, n) -> (Borrowed view, { collects = n; borrowed = true })
+
+  (** Figure 1 / Afek et al. termination: "three different values written by
+      the same process have been seen (in any locations)".
+
+      The three values are a per-location baseline plus two {e observed
+      changes}: a value counts as evidence only when a location is seen to
+      {e change} to it between two of our reads, which proves it was written
+      during this scan.  (Three distinct same-process values merely sitting
+      in different registers of a single collect prove nothing — they may
+      all be arbitrarily old, and borrowing on them is unsound; a
+      single-process execution already exhibits the bug.)  When a process is
+      observed to change a value twice, the later write's update started
+      after the earlier observed write — i.e. within this scan — so its view
+      (the one "with the highest counter") is safe to borrow. *)
+  let scan_per_process (type a) (regs : a cell M.ref_ array) idxs :
+      a result * stats =
+    let baseline = Array.make (Array.length idxs) None in
+    let fresh : (int, (int * a V.t) list) Hashtbl.t = Hashtbl.create 16 in
+    let note k (c : a cell) =
+      match baseline.(k) with
+      | Some t when Tag.equal t c.tag -> None
+      | before -> (
+        baseline.(k) <- Some c.tag;
+        match (before, c.tag) with
+        | None, _ -> None (* first collect: baseline only *)
+        | Some _, Tag.Init ->
+          assert false (* registers never revert to their initial value *)
+        | Some _, Tag.W { pid; seq } -> (
+          let l = try Hashtbl.find fresh pid with Not_found -> [] in
+          if List.mem_assoc seq l then None
+          else
+            let l = (seq, c.view) :: l in
+            Hashtbl.replace fresh pid l;
+            match l with
+            | (s1, v1) :: (s2, v2) :: _ -> Some (if s1 > s2 then v1 else v2)
+            | _ -> None))
+    in
+    scan_loop regs idxs ~note
+
+  (** Figure 3 termination: three distinct values in the same location;
+      borrow the view of the third value seen there. *)
+  let scan_per_location (type a) (regs : a cell M.ref_ array) idxs :
+      a result * stats =
+    let seen = Array.make (Array.length idxs) [] in
+    let note k (c : a cell) =
+      let l = seen.(k) in
+      if List.exists (fun t -> Tag.equal t c.tag) l then None
+      else begin
+        seen.(k) <- c.tag :: l;
+        if List.length seen.(k) >= 3 then Some c.view else None
+      end
+    in
+    scan_loop regs idxs ~note
+end

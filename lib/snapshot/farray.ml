@@ -1,0 +1,84 @@
+(** Jayanti's f-array [20] (PODC 2002), the related-work comparison point of
+    Section 5 of the paper: an [m]-component object where a process can
+    update one component or read [f] applied to {e all} components in O(1)
+    steps.
+
+    A complete binary tree of LL/SC objects caches the aggregate of each
+    subtree; an update writes its leaf and then {e double-refreshes} every
+    ancestor: LL the node, recompute it from its two children, SC.  If both
+    SCs at a node fail, some concurrent refresh that started after this
+    update's leaf write succeeded there, so the update's value is already
+    accounted for — that collision argument makes the propagation wait-free
+    without retry loops.  A read returns the root in one step.
+
+    The contrast the paper draws (and experiment E9 measures): reads are
+    O(1) but every update pays O(log m) LL/SC operations on objects whose
+    size grows up to the full vector at the root — "the improvement in the
+    scan operation is achieved by making the cost of an update proportional
+    to the size of the f-array, regardless of the current contention and
+    number of components scanned". *)
+
+module Make (M : Psnap_mem.Mem_intf.S) = struct
+  module L = Psnap_mem.Llsc.Make (M)
+
+  type ('a, 'b) t = {
+    leaves : 'a M.ref_ array;  (** padded to [width] with the caller's
+                                   neutral [pad] value *)
+    nodes : 'b L.t array;  (** internal nodes only, heap layout: root at 1,
+                               node i's children are 2i and 2i+1; an index
+                               >= width denotes leaf (index - width) *)
+    width : int;
+    m : int;
+    of_leaf : 'a -> 'b;
+    combine : 'b -> 'b -> 'b;
+  }
+
+  let rec pow2_at_least k n = if n >= k then n else pow2_at_least k (2 * n)
+
+  (** [pad] must be neutral for the aggregation (0 for sums, the identity
+      view for vectors, ...): it fills the leaves added to round [m] up to
+      a power of two. *)
+  let create ?(name = "farr") ~pad ~of_leaf ~combine init =
+    let m = Array.length init in
+    if m = 0 then invalid_arg "Farray.create: empty";
+    let width = pow2_at_least (max m 2) 2 in
+    let leaf i = if i < m then init.(i) else pad in
+    let leaves =
+      Array.init width (fun i ->
+          M.make ~name:(Printf.sprintf "%s.leaf%d" name i) (leaf i))
+    in
+    let rec agg i =
+      if i >= width then of_leaf (leaf (i - width))
+      else combine (agg (2 * i)) (agg ((2 * i) + 1))
+    in
+    let nodes =
+      Array.init width (fun i ->
+          L.make ~name:(Printf.sprintf "%s.n%d" name i) (agg (max i 1)))
+    in
+    { leaves; nodes; width; m; of_leaf; combine }
+
+  (* recompute node [i] from its children and try to install it once *)
+  let refresh t i =
+    let _, tag = L.ll t.nodes.(i) in
+    let child j =
+      if j >= t.width then t.of_leaf (M.read t.leaves.(j - t.width))
+      else L.read t.nodes.(j)
+    in
+    let fresh = t.combine (child (2 * i)) (child ((2 * i) + 1)) in
+    ignore (L.sc t.nodes.(i) tag fresh)
+
+  let update t i v =
+    if i < 0 || i >= t.m then invalid_arg "Farray.update: index";
+    M.write t.leaves.(i) v;
+    let node = ref ((i + t.width) / 2) in
+    while !node >= 1 do
+      refresh t !node;
+      refresh t !node;
+      node := !node / 2
+    done
+
+  (** [f] applied to all components: one shared-memory step. *)
+  let read_root t = L.read t.nodes.(1)
+
+  let size t = t.m
+end

@@ -1,0 +1,53 @@
+(** One-shot immediate snapshot (Borowsky–Gafni levels algorithm) — the
+    sibling object of reference [4] of the paper ("long-lived and adaptive
+    atomic snapshot and {e immediate} snapshot").
+
+    Each of [n] processes writes an input once and obtains a view — a set
+    of (process, value) pairs — such that:
+
+    - {b self-inclusion}: a process's view contains its own input;
+    - {b containment}: any two views are ordered by inclusion;
+    - {b immediacy}: if process [j]'s pair is in [i]'s view, then [j]'s
+      view is a subset of [i]'s.
+
+    Immediacy is strictly stronger than what a scan-based view gives (a
+    snapshot provides containment only): it is as if concurrent processes
+    write and snapshot {e simultaneously}.  The classic wait-free algorithm
+    needs only registers: descend through levels [n, n-1, ...], posting
+    your level and collecting, until at level [ℓ] you see at least [ℓ]
+    processes at level [≤ ℓ]; your view is those processes.  A process
+    terminates after at most [n] iterations of an [n]-collect: O(n²) steps,
+    one-shot. *)
+
+module Make (M : Psnap_mem.Mem_intf.S) = struct
+  type 'v cell = { value : 'v; level : int }
+
+  type 'v t = { cells : 'v cell option M.ref_ array; n : int }
+
+  let create ~n =
+    {
+      cells =
+        Array.init n (fun i -> M.make ~name:(Printf.sprintf "IS[%d]" i) None);
+      n;
+    }
+
+  (** [participate t ~pid v] — returns the view as (pid, value) pairs
+      sorted by pid.  At most one call per process. *)
+  let participate t ~pid v =
+    let rec descend level =
+      if level < 1 then invalid_arg "Immediate.participate: too many processes"
+      else begin
+        M.write t.cells.(pid) (Some { value = v; level });
+        let seen =
+          Array.to_list
+            (Array.mapi (fun q c -> (q, M.read c)) t.cells)
+          |> List.filter_map (fun (q, c) ->
+                 match c with
+                 | Some { value; level = l } when l <= level -> Some (q, value)
+                 | _ -> None)
+        in
+        if List.length seen >= level then seen else descend (level - 1)
+      end
+    in
+    descend t.n
+end

@@ -1,0 +1,35 @@
+(** The partial snapshot object (Section 2.1 of the paper).
+
+    Stores a vector of [m] components.  [update h i v] atomically writes [v]
+    into component [i]; [scan h idxs] atomically reads the components listed
+    in [idxs] (in any order, duplicates allowed) and returns their values
+    aligned with [idxs].  Both are linearizable and wait-free in every
+    implementation of this signature.
+
+    A full snapshot is the special case [scan h [|0; ...; m-1|]]. *)
+
+module type S = sig
+  type 'a t
+
+  type 'a handle
+  (** Per-process state (announcement register, write counter).  One per
+      (object, process id); operations through a handle must not be invoked
+      concurrently with each other (processes are sequential threads of
+      control, as in the model). *)
+
+  val name : string
+
+  val create : n:int -> 'a array -> 'a t
+  (** [create ~n init] — an object with components [init], used by processes
+      [0 .. n-1]. *)
+
+  val handle : 'a t -> pid:int -> 'a handle
+
+  val update : 'a handle -> int -> 'a -> unit
+
+  val scan : 'a handle -> int array -> 'a array
+
+  val last_scan_collects : 'a handle -> int
+  (** Number of collects performed by this handle's most recent [scan] —
+      instrumentation for the collect-bound experiments (E6). *)
+end

@@ -1,0 +1,18 @@
+(** Write tags.  Every update writes its process id and a per-process
+    counter alongside the value (Section 3), so no two writes ever store the
+    same register contents: two reads returning the same tag prove the
+    register did not change in between (no ABA). *)
+
+type t =
+  | Init  (** the component's initial value; written by no process *)
+  | W of { pid : int; seq : int }
+
+let equal a b =
+  match (a, b) with
+  | Init, Init -> true
+  | W a, W b -> a.pid = b.pid && a.seq = b.seq
+  | Init, W _ | W _, Init -> false
+
+let pp ppf = function
+  | Init -> Fmt.string ppf "init"
+  | W { pid; seq } -> Fmt.pf ppf "p%d#%d" pid seq

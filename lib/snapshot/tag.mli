@@ -1,0 +1,12 @@
+(** Write tags: every update stores its process id and per-process counter
+    alongside the value (Section 3), so no two writes ever store identical
+    register contents — two reads returning equal tags prove the register
+    did not change in between (no ABA). *)
+
+type t =
+  | Init  (** the component's initial value; written by no process *)
+  | W of { pid : int; seq : int }
+
+val equal : t -> t -> bool
+
+val pp : t Fmt.t

@@ -1,0 +1,52 @@
+(** The result of an embedded scan: a finite partial map from component
+    indices to values, kept as parallel sorted arrays so that lookups are
+    binary searches — this is the "sorted by indices" representation the
+    paper prescribes for small-register variants (remark after Theorem 1).
+
+    Views are immutable; they are stored inside register/CAS cells and
+    borrowed wholesale by the helping mechanism. *)
+
+type 'a t = { idxs : int array; vals : 'a array }
+
+let empty = { idxs = [||]; vals = [||] }
+
+let size v = Array.length v.idxs
+
+(** [of_pairs l] builds a view from index–value pairs with distinct
+    indices. *)
+let of_pairs l =
+  let a = Array.of_list l in
+  Array.sort (fun (i, _) (j, _) -> compare i j) a;
+  let idxs = Array.map fst a and vals = Array.map snd a in
+  Array.iteri
+    (fun k i -> if k > 0 && idxs.(k - 1) = i then invalid_arg "View.of_pairs: duplicate index" else ())
+    idxs;
+  { idxs; vals }
+
+let find v i =
+  let lo = ref 0 and hi = ref (Array.length v.idxs - 1) in
+  let res = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let x = v.idxs.(mid) in
+    if x = i then (
+      res := Some v.vals.(mid);
+      lo := !hi + 1)
+    else if x < i then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !res
+
+let mem v i = find v i <> None
+
+let find_exn v i =
+  match find v i with
+  | Some x -> x
+  | None ->
+    invalid_arg
+      (Printf.sprintf
+         "View.find_exn: component %d missing from a borrowed view — the \
+          helping invariant of the algorithm is broken"
+         i)
+
+let to_pairs v = Array.to_list (Array.map2 (fun i x -> (i, x)) v.idxs v.vals)

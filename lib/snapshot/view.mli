@@ -1,0 +1,27 @@
+(** The result of an embedded scan: a finite partial map from component
+    indices to values, as parallel sorted arrays (lookup = binary search).
+    Views are immutable; the helping mechanism stores them next to values
+    and borrows them wholesale. *)
+
+type 'a t = { idxs : int array; vals : 'a array }
+(** [idxs] strictly increasing; [vals.(k)] is the value of component
+    [idxs.(k)].  Exposed for the zero-cost direct representation
+    ({!View_repr.Direct}); treat as read-only. *)
+
+val empty : 'a t
+
+val size : 'a t -> int
+
+(** [of_pairs l] — from pairs with distinct indices ([Invalid_argument]
+    otherwise). *)
+val of_pairs : (int * 'a) list -> 'a t
+
+val find : 'a t -> int -> 'a option
+
+val mem : 'a t -> int -> bool
+
+(** Raises [Invalid_argument] naming the broken helping invariant if the
+    component is absent. *)
+val find_exn : 'a t -> int -> 'a
+
+val to_pairs : 'a t -> (int * 'a) list

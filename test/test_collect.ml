@@ -1,0 +1,250 @@
+(* White-box tests of the embedded-scan engine: both termination rules on
+   hand-crafted interleavings, the borrowing regressions, and the
+   Fresh/Borrowed extraction paths.  The "updater" here writes crafted
+   cells directly, so each scenario controls exactly which tags and views
+   the scanner observes, step by step. *)
+
+open Psnap
+module M = Mem.Sim
+module C = Snapshot.Collect.Make (Psnap.Mem.Sim) (Snapshot.View_repr.Direct)
+module Tag = Snapshot.Tag
+module View = Snapshot.View
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let cell ?(view = View.empty) ~pid ~seq v = { C.v; view; tag = Tag.W { pid; seq } }
+
+let view_of l = View.of_pairs l
+
+(* run scanner (pid 0) and writer (pid 1) under a forced schedule prefix *)
+let run_two ~schedule scanner writer =
+  ignore
+    (Sim.run
+       ~sched:(Scheduler.replay_then schedule (Scheduler.round_robin ()))
+       [| scanner; writer |])
+
+let test_quiescent_is_two_fresh_collects () =
+  let regs = Array.init 4 (fun i -> M.make (C.init_cell (i * 10))) in
+  let result = ref None in
+  ignore
+    (Sim.run ~sched:(Scheduler.round_robin ())
+       [| (fun () -> result := Some (C.scan_per_location regs [| 1; 3 |])) |]);
+  match !result with
+  | Some (C.Fresh (idxs, vals), st) ->
+    Alcotest.(check (array int)) "indices" [| 1; 3 |] idxs;
+    Alcotest.(check (array int)) "values" [| 10; 30 |] vals;
+    check_int "collects" 2 st.collects;
+    check_bool "not borrowed" false st.borrowed
+  | Some (C.Borrowed _, _) -> Alcotest.fail "unexpected borrow"
+  | None -> Alcotest.fail "no result"
+
+let test_empty_scan_is_free () =
+  let regs = Array.init 2 (fun _ -> M.make (C.init_cell 0)) in
+  let steps = ref (-1) in
+  ignore
+    (Sim.run ~sched:(Scheduler.round_robin ())
+       [|
+         (fun () ->
+           let s0 = Sim.steps_of 0 in
+           (match C.scan_per_location regs [||] with
+           | C.Fresh ([||], [||]), st -> check_int "collects" 0 st.collects
+           | _ -> Alcotest.fail "expected empty fresh result");
+           steps := Sim.steps_of 0 - s0);
+       |]);
+  check_int "zero steps" 0 !steps
+
+let test_unsorted_indices_rejected () =
+  let regs = Array.init 3 (fun _ -> M.make (C.init_cell 0)) in
+  ignore
+    (Sim.run ~sched:(Scheduler.round_robin ())
+       [|
+         (fun () ->
+           match C.scan_per_location regs [| 2; 1 |] with
+           | _ -> Alcotest.fail "expected Invalid_argument"
+           | exception Invalid_argument _ -> ());
+       |])
+
+(* per-location rule: the third distinct value in one location is borrowed,
+   with its view, on the collect where it appears *)
+let test_per_location_borrows_third_value () =
+  let view_b = view_of [ (0, 777); (5, 555) ] in
+  let regs = Array.init 2 (fun _ -> M.make (C.init_cell 0)) in
+  let result = ref None in
+  let scanner () = result := Some (C.scan_per_location regs [| 0; 1 |]) in
+  let writer () =
+    M.write regs.(0) (cell ~pid:1 ~seq:1 10);
+    M.write regs.(0) (cell ~view:view_b ~pid:1 ~seq:2 20)
+  in
+  (* collect1 (2 steps), write1, collect2 (2), write2, first read of
+     collect3 sees the third distinct value of location 0 *)
+  run_two ~schedule:[ 0; 0; 1; 0; 0; 1; 0 ] scanner writer;
+  match !result with
+  | Some (C.Borrowed v, st) ->
+    check_bool "borrowed exactly view_b" true (v == view_b);
+    check_int "three collects" 3 st.collects;
+    check_bool "flagged" true st.borrowed
+  | Some (C.Fresh _, _) -> Alcotest.fail "expected a borrow"
+  | None -> Alcotest.fail "no result"
+
+(* regression for the unsound literal reading of Figure 1's condition (2):
+   three distinct same-process values already sitting in different
+   registers prove nothing and must NOT trigger a borrow *)
+let test_per_process_ignores_stale_values () =
+  let stale_view = view_of [ (0, -1) ] in
+  let regs =
+    [|
+      M.make (cell ~view:stale_view ~pid:9 ~seq:1 100);
+      M.make (cell ~view:stale_view ~pid:9 ~seq:2 200);
+      M.make (cell ~view:stale_view ~pid:9 ~seq:3 300);
+    |]
+  in
+  let result = ref None in
+  ignore
+    (Sim.run ~sched:(Scheduler.round_robin ())
+       [| (fun () -> result := Some (C.scan_per_process regs [| 0; 1; 2 |])) |]);
+  match !result with
+  | Some (C.Fresh (_, vals), st) ->
+    Alcotest.(check (array int)) "current values" [| 100; 200; 300 |] vals;
+    check_int "two collects" 2 st.collects
+  | Some (C.Borrowed _, _) ->
+    Alcotest.fail "borrowed stale values (unsound condition (2) reading)"
+  | None -> Alcotest.fail "no result"
+
+(* per-process rule: two observed changes by the same process trigger the
+   borrow, taking the higher-counter view *)
+let test_per_process_borrows_after_two_observed_changes () =
+  let view_a = view_of [ (0, 1) ] and view_c = view_of [ (0, 2); (1, 3) ] in
+  let regs = Array.init 2 (fun _ -> M.make (C.init_cell 0)) in
+  let result = ref None in
+  let scanner () = result := Some (C.scan_per_process regs [| 0; 1 |]) in
+  let writer () =
+    M.write regs.(0) (cell ~view:view_a ~pid:1 ~seq:1 10);
+    M.write regs.(1) (cell ~view:view_c ~pid:1 ~seq:2 30)
+  in
+  (* collect1, write reg0, collect2 (change #1 at loc 0), write reg1,
+     collect3: loc 0 unchanged, loc 1 changed (change #2, same pid) *)
+  run_two ~schedule:[ 0; 0; 1; 0; 0; 1; 0; 0 ] scanner writer;
+  match !result with
+  | Some (C.Borrowed v, st) ->
+    check_bool "borrowed the higher-seq view" true (v == view_c);
+    check_int "three collects" 3 st.collects
+  | Some (C.Fresh _, _) -> Alcotest.fail "expected a borrow"
+  | None -> Alcotest.fail "no result"
+
+(* a change by one process and a change by another do NOT trigger the
+   per-process rule *)
+let test_per_process_needs_same_process () =
+  let regs = Array.init 2 (fun _ -> M.make (C.init_cell 0)) in
+  let result = ref None in
+  let scanner () = result := Some (C.scan_per_process regs [| 0; 1 |]) in
+  let writer () =
+    M.write regs.(0) (cell ~pid:1 ~seq:1 10);
+    M.write regs.(1) (cell ~pid:2 ~seq:1 30)
+    (* two writers simulated by crafted pids *)
+  in
+  run_two ~schedule:[ 0; 0; 1; 0; 0; 1; 0; 0; 0; 0 ] scanner writer;
+  match !result with
+  | Some (C.Fresh (_, vals), st) ->
+    Alcotest.(check (array int)) "settled values" [| 10; 30 |] vals;
+    (* collect1, collect2 (change), collect3 (change), collect4 = collect3 *)
+    check_int "four collects" 4 st.collects
+  | Some (C.Borrowed _, _) ->
+    Alcotest.fail "borrowed on changes by different processes"
+  | None -> Alcotest.fail "no result"
+
+(* ---- the announcement board (shared by Figures 1 and 3) ---- *)
+
+module Ann = Snapshot.Announce.Make (Psnap.Mem.Sim)
+
+let test_announce_union () =
+  ignore
+    (Sim.run ~sched:(Scheduler.round_robin ())
+       [|
+         (fun () ->
+           let a = Ann.create ~n:4 in
+           Ann.announce a ~pid:0 [| 3; 1; 9 |];
+           Ann.announce a ~pid:2 [| 1; 4 |];
+           Alcotest.(check (array int))
+             "union, sorted, deduped" [| 1; 3; 4; 9 |]
+             (Ann.union_announced a [ 0; 2 ]);
+           Alcotest.(check (array int))
+             "empty scanner list" [||] (Ann.union_announced a []);
+           Alcotest.(check (array int))
+             "unannounced scanner contributes nothing" [| 1; 4 |]
+             (Ann.union_announced a [ 1; 2 ]);
+           (* re-announcing replaces *)
+           Ann.announce a ~pid:2 [| 7 |];
+           Alcotest.(check (array int))
+             "replacement" [| 7 |] (Ann.union_announced a [ 2 ]));
+       |])
+
+let test_announce_cost () =
+  let steps = ref 0 in
+  ignore
+    (Sim.run ~sched:(Scheduler.round_robin ())
+       [|
+         (fun () ->
+           let a = Ann.create ~n:8 in
+           let s0 = Sim.steps_of 0 in
+           ignore (Ann.union_announced a [ 0; 3; 5 ]);
+           steps := Sim.steps_of 0 - s0);
+       |]);
+  check_int "one read per scanner" 3 !steps
+
+(* extraction *)
+let test_extract_fresh () =
+  let r = C.Fresh ([| 2; 5; 9 |], [| 20; 50; 90 |]) in
+  Alcotest.(check (array int))
+    "aligned, duplicates, unordered" [| 90; 20; 20; 50 |]
+    (C.extract r [| 9; 2; 2; 5 |]);
+  Alcotest.check_raises "missing component"
+    (Invalid_argument "Collect.extract: component not scanned") (fun () ->
+      ignore (C.extract r [| 3 |]))
+
+let test_extract_borrowed () =
+  let v = view_of [ (1, 11); (4, 44); (6, 66) ] in
+  let r = C.Borrowed v in
+  Alcotest.(check (array int)) "lookups" [| 44; 11 |] (C.extract r [| 4; 1 |]);
+  check_bool "missing raises" true
+    (match C.extract r [| 2 |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "collect"
+    [
+      ( "loop",
+        [
+          Alcotest.test_case "quiescent double collect" `Quick
+            test_quiescent_is_two_fresh_collects;
+          Alcotest.test_case "empty scan" `Quick test_empty_scan_is_free;
+          Alcotest.test_case "unsorted rejected" `Quick
+            test_unsorted_indices_rejected;
+        ] );
+      ( "per-location",
+        [
+          Alcotest.test_case "borrows third value" `Quick
+            test_per_location_borrows_third_value;
+        ] );
+      ( "per-process",
+        [
+          Alcotest.test_case "ignores stale values (regression)" `Quick
+            test_per_process_ignores_stale_values;
+          Alcotest.test_case "borrows after two observed changes" `Quick
+            test_per_process_borrows_after_two_observed_changes;
+          Alcotest.test_case "needs the same process" `Quick
+            test_per_process_needs_same_process;
+        ] );
+      ( "extract",
+        [
+          Alcotest.test_case "fresh" `Quick test_extract_fresh;
+          Alcotest.test_case "borrowed" `Quick test_extract_borrowed;
+        ] );
+      ( "announce",
+        [
+          Alcotest.test_case "union" `Quick test_announce_union;
+          Alcotest.test_case "cost" `Quick test_announce_cost;
+        ] );
+    ]

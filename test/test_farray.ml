@@ -1,0 +1,199 @@
+(* Tests of the LL/SC primitive and the generic f-array (Jayanti [20]),
+   the related-work baseline of Section 5.  The snapshot specialisation is
+   additionally covered by the generic suites in test_snapshot.ml and
+   test_exhaustive.ml. *)
+
+open Psnap
+module M = Mem.Sim
+module L = Psnap.Llsc.Make (Psnap.Mem.Sim)
+module F = Psnap.Farray.Make (Psnap.Mem.Sim)
+
+let check_int = Alcotest.(check int)
+
+let in_sim ?sched f =
+  let sched = Option.value sched ~default:(Scheduler.round_robin ()) in
+  let out = ref None in
+  ignore (Sim.run ~sched [| (fun () -> out := Some (f ())) |]);
+  Option.get !out
+
+(* ---- LL/SC ---- *)
+
+let test_llsc_basic () =
+  let v =
+    in_sim (fun () ->
+        let c = L.make 10 in
+        let v0, tag = L.ll c in
+        let ok1 = L.sc c tag 20 in
+        let ok2 = L.sc c tag 30 in
+        (v0, ok1, ok2, L.read c))
+  in
+  let v0, ok1, ok2, final = v in
+  check_int "ll value" 10 v0;
+  Alcotest.(check bool) "first sc succeeds" true ok1;
+  Alcotest.(check bool) "second sc with stale tag fails" false ok2;
+  check_int "final" 20 final
+
+let test_llsc_interference () =
+  (* an SC between LL and SC makes the SC fail, even restoring the same
+     value (no ABA) *)
+  let v =
+    in_sim (fun () ->
+        let c = L.make 1 in
+        let _, tag = L.ll c in
+        let _, tag2 = L.ll c in
+        assert (L.sc c tag2 1) (* writes the same value, new box *);
+        L.sc c tag 99)
+  in
+  Alcotest.(check bool) "sc fails after interference" false v
+
+let test_llsc_steps () =
+  let steps = ref 0 in
+  ignore
+    (Sim.run ~sched:(Scheduler.round_robin ())
+       [|
+         (fun () ->
+           let c = L.make 0 in
+           let s0 = Sim.steps_of 0 in
+           let _, tag = L.ll c in
+           ignore (L.sc c tag 1);
+           ignore (L.read c);
+           steps := Sim.steps_of 0 - s0);
+       |]);
+  check_int "ll + sc + read = 3 steps" 3 !steps
+
+(* ---- generic f-array ---- *)
+
+let sum_farray init = F.create ~pad:0 ~of_leaf:Fun.id ~combine:( + ) init
+
+let test_farray_sum_sequential () =
+  in_sim (fun () ->
+      let t = sum_farray [| 1; 2; 3; 4; 5 |] in
+      check_int "initial sum" 15 (F.read_root t);
+      F.update t 2 30;
+      check_int "after update" 42 (F.read_root t);
+      F.update t 0 0;
+      F.update t 4 0;
+      check_int "after more updates" 36 (F.read_root t))
+
+let test_farray_max () =
+  in_sim (fun () ->
+      let t = F.create ~pad:min_int ~of_leaf:Fun.id ~combine:max [| 3; 9; 4 |] in
+      check_int "initial max" 9 (F.read_root t);
+      F.update t 1 1;
+      check_int "max after lowering the peak" 4 (F.read_root t))
+
+let test_farray_various_sizes () =
+  in_sim (fun () ->
+      List.iter
+        (fun m ->
+          let t = sum_farray (Array.init m (fun i -> i + 1)) in
+          check_int
+            (Printf.sprintf "sum of 1..%d" m)
+            (m * (m + 1) / 2)
+            (F.read_root t);
+          F.update t (m - 1) 0;
+          check_int
+            (Printf.sprintf "sum after zeroing last (m=%d)" m)
+            ((m * (m + 1) / 2) - m)
+            (F.read_root t))
+        [ 1; 2; 3; 4; 5; 7; 8; 9; 16; 33 ])
+
+let test_farray_read_is_one_step () =
+  let steps = ref 0 in
+  ignore
+    (Sim.run ~sched:(Scheduler.round_robin ())
+       [|
+         (fun () ->
+           let t = sum_farray (Array.init 64 (fun i -> i)) in
+           let s0 = Sim.steps_of 0 in
+           ignore (F.read_root t);
+           steps := Sim.steps_of 0 - s0);
+       |]);
+  check_int "read = 1 step" 1 !steps
+
+let test_farray_update_cost_logarithmic () =
+  let cost m =
+    let steps = ref 0 in
+    ignore
+      (Sim.run ~sched:(Scheduler.round_robin ())
+         [|
+           (fun () ->
+             let t = sum_farray (Array.init m (fun i -> i)) in
+             let s0 = Sim.steps_of 0 in
+             F.update t (m / 2) 7;
+             steps := Sim.steps_of 0 - s0);
+         |]);
+    !steps
+  in
+  (* leaf write + 2 refreshes x (ll + 2 child reads + sc) per level *)
+  let expected m =
+    let levels = int_of_float (ceil (log (float_of_int (max m 2)) /. log 2.)) in
+    1 + (levels * 2 * 4)
+  in
+  List.iter
+    (fun m ->
+      let c = cost m in
+      Alcotest.(check bool)
+        (Printf.sprintf "m=%d: %d <= %d" m c (expected m))
+        true
+        (c <= expected m))
+    [ 2; 16; 256; 4096 ];
+  Alcotest.(check bool) "cost grows with m" true (cost 4096 > cost 2)
+
+(* concurrent sum: with updates that preserve a global invariant (every
+   update keeps the total sum constant is impossible with single-component
+   updates, so instead: all sums seen must be between the initial sum and
+   the final sum when updates only increase components) *)
+let test_farray_monotone_sums () =
+  for seed = 0 to 19 do
+    let observed = ref [] in
+    let t = ref None in
+    let procs =
+      [|
+        (fun () ->
+          let f = sum_farray (Array.make 8 0) in
+          t := Some f;
+          for k = 1 to 20 do
+            F.update f (k mod 8) k
+          done);
+        (fun () ->
+          match !t with
+          | Some f ->
+            for _ = 1 to 15 do
+              observed := F.read_root f :: !observed
+            done
+          | None -> ());
+      |]
+    in
+    ignore (Sim.run ~sched:(Scheduler.random ~seed ()) procs);
+    (* components only ever grow (k mod 8 < k), so sums must be
+       non-negative and no larger than the final sum *)
+    let final = in_sim (fun () -> F.read_root (Option.get !t)) in
+    List.iter
+      (fun s ->
+        if s < 0 || s > final then
+          Alcotest.failf "seed %d: implausible sum %d (final %d)" seed s final)
+      !observed
+  done
+
+let () =
+  Alcotest.run "farray"
+    [
+      ( "llsc",
+        [
+          Alcotest.test_case "basic" `Quick test_llsc_basic;
+          Alcotest.test_case "interference" `Quick test_llsc_interference;
+          Alcotest.test_case "step costs" `Quick test_llsc_steps;
+        ] );
+      ( "farray",
+        [
+          Alcotest.test_case "sum sequential" `Quick test_farray_sum_sequential;
+          Alcotest.test_case "max" `Quick test_farray_max;
+          Alcotest.test_case "various sizes" `Quick test_farray_various_sizes;
+          Alcotest.test_case "read O(1)" `Quick test_farray_read_is_one_step;
+          Alcotest.test_case "update O(log m)" `Quick
+            test_farray_update_cost_logarithmic;
+          Alcotest.test_case "concurrent sums plausible" `Quick
+            test_farray_monotone_sums;
+        ] );
+    ]

@@ -1,0 +1,132 @@
+(* The one-shot immediate snapshot's three properties — self-inclusion,
+   containment, immediacy — checked directly on every view, under random,
+   PCT and exhaustively enumerated schedules, with and without crashes. *)
+
+open Psnap
+module IS = Psnap_snapshot.Immediate.Make (Psnap.Mem.Sim)
+
+let check_bool = Alcotest.(check bool)
+
+module PairSet = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+let check_properties views =
+  (* views : (pid, view) list for the processes that finished *)
+  let sets = List.map (fun (pid, v) -> (pid, PairSet.of_list v)) views in
+  List.iter
+    (fun (pid, s) ->
+      check_bool "self-inclusion" true
+        (PairSet.exists (fun (q, _) -> q = pid) s))
+    sets;
+  List.iter
+    (fun (_, si) ->
+      List.iter
+        (fun (_, sj) ->
+          check_bool "containment" true
+            (PairSet.subset si sj || PairSet.subset sj si))
+        sets)
+    sets;
+  List.iter
+    (fun (i, si) ->
+      ignore i;
+      List.iter
+        (fun (j, sj) ->
+          if PairSet.exists (fun (q, _) -> q = j) si then
+            check_bool "immediacy" true (PairSet.subset sj si))
+        sets)
+    sets
+
+let run_views ~n ~sched =
+  let t = IS.create ~n in
+  let out = Array.make n None in
+  let procs =
+    Array.init n (fun pid () -> out.(pid) <- Some (IS.participate t ~pid (100 + pid)))
+  in
+  let res = Sim.run ~sched procs in
+  ignore res;
+  Array.to_list out
+  |> List.mapi (fun pid v -> (pid, v))
+  |> List.filter_map (fun (pid, v) -> Option.map (fun v -> (pid, v)) v)
+
+let test_solo () =
+  match run_views ~n:1 ~sched:(Scheduler.round_robin ()) with
+  | [ (0, [ (0, 100) ]) ] -> ()
+  | _ -> Alcotest.fail "solo view should be exactly itself"
+
+let test_random_schedules () =
+  for seed = 0 to 99 do
+    let views = run_views ~n:5 ~sched:(Scheduler.random ~seed ()) in
+    Alcotest.(check int) "all finished" 5 (List.length views);
+    check_properties views
+  done
+
+let test_pct_schedules () =
+  for seed = 0 to 49 do
+    let views =
+      run_views ~n:6 ~sched:(Scheduler.pct ~seed ~expected_steps:300 ())
+    in
+    check_properties views
+  done
+
+let test_crash_tolerance () =
+  for seed = 0 to 29 do
+    let t = IS.create ~n:4 in
+    let out = Array.make 4 None in
+    let procs =
+      Array.init 4 (fun pid () ->
+          out.(pid) <- Some (IS.participate t ~pid (100 + pid)))
+    in
+    let sched =
+      Scheduler.with_crash ~pid:(seed mod 4) ~at_clock:(seed mod 13)
+        (Scheduler.random ~seed ())
+    in
+    ignore (Sim.run ~sched procs);
+    let views =
+      Array.to_list out
+      |> List.mapi (fun pid v -> (pid, v))
+      |> List.filter_map (fun (pid, v) -> Option.map (fun v -> (pid, v)) v)
+    in
+    check_bool "survivors finished" true (List.length views >= 3);
+    check_properties views
+  done
+
+let test_exhaustive_pair () =
+  (* two processes, every interleaving: the only legal outcomes are
+     {i alone} vs {both} views with immediacy *)
+  let schedules = ref 0 in
+  let make () =
+    let t = IS.create ~n:2 in
+    let out = Array.make 2 None in
+    let procs =
+      Array.init 2 (fun pid () ->
+          out.(pid) <- Some (IS.participate t ~pid (100 + pid)))
+    in
+    ( procs,
+      fun () ->
+        incr schedules;
+        let views =
+          Array.to_list out
+          |> List.mapi (fun pid v -> (pid, Option.get v))
+        in
+        check_properties views )
+  in
+  ignore (Explore.run ~make ());
+  check_bool
+    (Printf.sprintf "schedules: %d" !schedules)
+    true (!schedules > 50)
+
+let () =
+  Alcotest.run "immediate_snapshot"
+    [
+      ( "properties",
+        [
+          Alcotest.test_case "solo" `Quick test_solo;
+          Alcotest.test_case "random schedules" `Quick test_random_schedules;
+          Alcotest.test_case "pct schedules" `Quick test_pct_schedules;
+          Alcotest.test_case "crashes" `Quick test_crash_tolerance;
+          Alcotest.test_case "exhaustive pair" `Quick test_exhaustive_pair;
+        ] );
+    ]

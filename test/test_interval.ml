@@ -1,0 +1,177 @@
+(* Unit and property tests for the interval-set substrate used by the
+   Figure 2 active set's CAS object. *)
+
+module I = Psnap.Interval_set
+module IntSet = Set.Make (Int)
+
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+(* ---- unit tests ---- *)
+
+let test_empty () =
+  check "empty has no members" false (I.mem 0 I.empty);
+  check "empty is empty" true (I.is_empty I.empty);
+  check_int "empty cardinal" 0 (I.cardinal I.empty)
+
+let test_add_basic () =
+  let s = I.add 5 I.empty in
+  check "5 in" true (I.mem 5 s);
+  check "4 out" false (I.mem 4 s);
+  check "6 out" false (I.mem 6 s);
+  check_int "one interval" 1 (I.interval_count s)
+
+let test_coalesce_adjacent () =
+  let s = I.empty |> I.add 1 |> I.add 3 |> I.add 2 in
+  check_int "coalesced to one interval" 1 (I.interval_count s);
+  Alcotest.(check (list (pair int int))) "intervals" [ (1, 3) ] (I.intervals s)
+
+let test_coalesce_left_right () =
+  let s = I.empty |> I.add 10 |> I.add 12 |> I.add 14 in
+  check_int "three intervals" 3 (I.interval_count s);
+  let s = I.add 13 s in
+  check_int "right pair merged" 2 (I.interval_count s);
+  let s = I.add 11 s in
+  check_int "all merged" 1 (I.interval_count s);
+  Alcotest.(check (list (pair int int))) "intervals" [ (10, 14) ] (I.intervals s)
+
+let test_add_existing () =
+  let s = I.empty |> I.add 7 |> I.add 7 in
+  check_int "idempotent" 1 (I.cardinal s)
+
+let test_add_range () =
+  let s = I.add_range ~lo:3 ~hi:9 I.empty in
+  check_int "cardinal" 7 (I.cardinal s);
+  check "3 in" true (I.mem 3 s);
+  check "9 in" true (I.mem 9 s);
+  check "10 out" false (I.mem 10 s);
+  Alcotest.check_raises "lo > hi rejected"
+    (Invalid_argument "Interval_set.add_range: lo > hi") (fun () ->
+      ignore (I.add_range ~lo:2 ~hi:1 I.empty))
+
+let test_range_bridges () =
+  let s = I.empty |> I.add 1 |> I.add 10 in
+  let s = I.add_range ~lo:3 ~hi:8 s in
+  check_int "three intervals" 3 (I.interval_count s);
+  let s = I.add_range ~lo:2 ~hi:9 s in
+  check_int "bridged" 1 (I.interval_count s);
+  Alcotest.(check (list (pair int int))) "intervals" [ (1, 10) ] (I.intervals s)
+
+let test_union () =
+  let a = I.of_intervals [ (0, 3); (10, 12) ] in
+  let b = I.of_intervals [ (4, 5); (11, 20) ] in
+  let u = I.union a b in
+  check "canonical" true (I.invariant_ok u);
+  Alcotest.(check (list (pair int int)))
+    "intervals"
+    [ (0, 5); (10, 20) ]
+    (I.intervals u)
+
+let test_fold_gaps () =
+  let s = I.of_intervals [ (2, 3); (6, 6) ] in
+  let gaps = I.fold_gaps ~lo:0 ~hi:8 (fun acc i -> i :: acc) [] s in
+  Alcotest.(check (list int)) "gaps" [ 8; 7; 5; 4; 1; 0 ] gaps;
+  let none = I.fold_gaps ~lo:2 ~hi:3 (fun acc i -> i :: acc) [] s in
+  Alcotest.(check (list int)) "fully covered" [] none
+
+let test_equal () =
+  let a = I.empty |> I.add 1 |> I.add 2 in
+  let b = I.add_range ~lo:1 ~hi:2 I.empty in
+  check "canonical equality" true (I.equal a b)
+
+(* ---- property tests against a reference Set.Make(Int) model ---- *)
+
+let range_gen = QCheck2.Gen.int_bound 60
+
+type op = Add of int | Add_range of int * int
+
+let op_gen =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun i -> Add i) range_gen;
+        map2
+          (fun lo len -> Add_range (lo, lo + len))
+          range_gen (int_bound 10);
+      ])
+
+let ops_gen = QCheck2.Gen.(list_size (int_bound 40) op_gen)
+
+let print_ops ops =
+  String.concat ";"
+    (List.map
+       (function
+         | Add i -> Printf.sprintf "add %d" i
+         | Add_range (lo, hi) -> Printf.sprintf "range %d-%d" lo hi)
+       ops)
+
+let build ops =
+  List.fold_left
+    (fun (s, m) -> function
+      | Add i -> (I.add i s, IntSet.add i m)
+      | Add_range (lo, hi) ->
+        ( I.add_range ~lo ~hi s,
+          List.fold_left (fun m i -> IntSet.add i m) m
+            (List.init (hi - lo + 1) (fun k -> lo + k)) ))
+    (I.empty, IntSet.empty) ops
+
+let prop_model =
+  QCheck2.Test.make ~name:"interval set agrees with Set.Make(Int)" ~count:500
+    ~print:print_ops ops_gen (fun ops ->
+      let s, m = build ops in
+      I.invariant_ok s
+      && I.cardinal s = IntSet.cardinal m
+      && List.for_all (fun i -> I.mem i s = IntSet.mem i m)
+           (List.init 75 (fun i -> i - 1)))
+
+let prop_union =
+  QCheck2.Test.make ~name:"union agrees with model union" ~count:300
+    ~print:(fun (a, b) -> print_ops a ^ " | " ^ print_ops b)
+    QCheck2.Gen.(pair ops_gen ops_gen)
+    (fun (opsa, opsb) ->
+      let sa, ma = build opsa and sb, mb = build opsb in
+      let u = I.union sa sb and mu = IntSet.union ma mb in
+      I.invariant_ok u
+      && I.cardinal u = IntSet.cardinal mu
+      && List.for_all (fun i -> I.mem i u = IntSet.mem i mu)
+           (List.init 75 (fun i -> i - 1)))
+
+let prop_gaps =
+  QCheck2.Test.make ~name:"fold_gaps enumerates the complement" ~count:300
+    ~print:print_ops ops_gen (fun ops ->
+      let s, m = build ops in
+      let gaps = I.fold_gaps ~lo:0 ~hi:70 (fun acc i -> i :: acc) [] s in
+      let expected =
+        List.filter (fun i -> not (IntSet.mem i m)) (List.init 71 (fun i -> i))
+      in
+      List.rev gaps = expected)
+
+let prop_canonical =
+  QCheck2.Test.make ~name:"same set implies same representation" ~count:300
+    ~print:(fun (a, b) -> print_ops a ^ " | " ^ print_ops b)
+    QCheck2.Gen.(pair ops_gen ops_gen)
+    (fun (opsa, opsb) ->
+      let sa, ma = build opsa and sb, mb = build opsb in
+      if IntSet.equal ma mb then I.equal sa sb else true)
+
+let () =
+  Alcotest.run "interval_set"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "add basic" `Quick test_add_basic;
+          Alcotest.test_case "coalesce adjacent" `Quick test_coalesce_adjacent;
+          Alcotest.test_case "coalesce left/right" `Quick test_coalesce_left_right;
+          Alcotest.test_case "add existing" `Quick test_add_existing;
+          Alcotest.test_case "add_range" `Quick test_add_range;
+          Alcotest.test_case "range bridges" `Quick test_range_bridges;
+          Alcotest.test_case "union" `Quick test_union;
+          Alcotest.test_case "fold_gaps" `Quick test_fold_gaps;
+          Alcotest.test_case "canonical equality" `Quick test_equal;
+        ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_model; prop_union; prop_gaps; prop_canonical ] );
+    ]

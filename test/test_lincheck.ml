@@ -1,0 +1,391 @@
+(* Self-tests of the correctness checkers: the Wing–Gong linearizability
+   checker, the observation-based snapshot checker, and the active set
+   validity checker.  A checker that never rejects anything would make the
+   whole concurrent test suite vacuous, so known-bad histories are as
+   important here as known-good ones. *)
+
+open Psnap
+module H = History
+module S = Snapshot_spec
+module A = Activeset_check
+
+let entry ?res ~pid ~inv ?resp op : ('a, 'b) H.entry =
+  { H.pid; op; res; inv; resp }
+
+let check_bool = Alcotest.(check bool)
+
+(* ---- snapshot linearizability: exact checker ---- *)
+
+let lin = S.check ~init:[| 0; 0 |]
+
+let test_empty_history () = check_bool "empty" true (lin [])
+
+let test_sequential_ok () =
+  check_bool "sequential" true
+    (lin
+       [
+         entry ~pid:0 ~inv:1 ~resp:2 (S.Update (0, 5)) ~res:S.Ack;
+         entry ~pid:0 ~inv:3 ~resp:4 (S.Scan [| 0; 1 |]) ~res:(S.Vals [| 5; 0 |]);
+       ])
+
+let test_sequential_stale_rejected () =
+  check_bool "stale value rejected" false
+    (lin
+       [
+         entry ~pid:0 ~inv:1 ~resp:2 (S.Update (0, 5)) ~res:S.Ack;
+         entry ~pid:0 ~inv:3 ~resp:4 (S.Scan [| 0 |]) ~res:(S.Vals [| 0 |]);
+       ])
+
+let test_concurrent_either_order () =
+  (* update and scan overlap: scan may see old or new value *)
+  let h v =
+    [
+      entry ~pid:0 ~inv:1 ~resp:10 (S.Update (0, 5)) ~res:S.Ack;
+      entry ~pid:1 ~inv:2 ~resp:9 (S.Scan [| 0 |]) ~res:(S.Vals [| v |]);
+    ]
+  in
+  check_bool "sees old" true (lin (h 0));
+  check_bool "sees new" true (lin (h 5));
+  check_bool "sees garbage" false (lin (h 7))
+
+let test_double_collect_violation () =
+  (* The classic non-atomic collect anomaly: two sequential scans observe
+     two concurrent updates in opposite orders. *)
+  let h =
+    [
+      entry ~pid:0 ~inv:1 ~resp:20 (S.Update (0, 1)) ~res:S.Ack;
+      entry ~pid:1 ~inv:1 ~resp:20 (S.Update (1, 1)) ~res:S.Ack;
+      entry ~pid:2 ~inv:2 ~resp:5 (S.Scan [| 0; 1 |]) ~res:(S.Vals [| 1; 0 |]);
+      entry ~pid:2 ~inv:6 ~resp:9 (S.Scan [| 0; 1 |]) ~res:(S.Vals [| 0; 1 |]);
+    ]
+  in
+  check_bool "opposite orders rejected" false (lin h)
+
+let test_real_time_order_enforced () =
+  (* Scan strictly after an update must not miss it. *)
+  let h =
+    [
+      entry ~pid:0 ~inv:1 ~resp:2 (S.Update (0, 5)) ~res:S.Ack;
+      entry ~pid:1 ~inv:3 ~resp:4 (S.Scan [| 0 |]) ~res:(S.Vals [| 0 |]);
+    ]
+  in
+  check_bool "missed preceding update" false (lin h)
+
+let test_pending_update_may_apply () =
+  (* A crashed update may or may not have taken effect. *)
+  let base v =
+    [
+      entry ~pid:0 ~inv:1 (S.Update (0, 5)) (* pending *);
+      entry ~pid:1 ~inv:2 ~resp:3 (S.Scan [| 0 |]) ~res:(S.Vals [| v |]);
+    ]
+  in
+  check_bool "effect visible" true (lin (base 5));
+  check_bool "effect invisible" true (lin (base 0));
+  check_bool "garbage still rejected" false (lin (base 9))
+
+let test_partial_scan_projection () =
+  let h =
+    [
+      entry ~pid:0 ~inv:1 ~resp:2 (S.Update (1, 7)) ~res:S.Ack;
+      entry ~pid:1 ~inv:3 ~resp:4 (S.Scan [| 1 |]) ~res:(S.Vals [| 7 |]);
+      entry ~pid:1 ~inv:5 ~resp:6 (S.Scan [| 0 |]) ~res:(S.Vals [| 0 |]);
+    ]
+  in
+  check_bool "partial scans" true (lin h)
+
+let test_too_long_raises () =
+  let h =
+    List.init 63 (fun k ->
+        entry ~pid:0 ~inv:(2 * k) ~resp:((2 * k) + 1) (S.Update (0, k)) ~res:S.Ack)
+  in
+  Alcotest.check_raises "length cap" (S.Checker.Too_long 63) (fun () ->
+      ignore (lin h))
+
+(* ---- observation-based checker ---- *)
+
+(* unique values: init = -1, -2; writes use 100*pid + seq *)
+let obs = S.check_observations ~init:[| -1; -2 |]
+
+let test_obs_clean () =
+  let h =
+    [
+      entry ~pid:0 ~inv:1 ~resp:2 (S.Update (0, 100)) ~res:S.Ack;
+      entry ~pid:1 ~inv:3 ~resp:4 (S.Scan [| 0; 1 |]) ~res:(S.Vals [| 100; -2 |]);
+    ]
+  in
+  Alcotest.(check int) "no violations" 0 (List.length (obs h))
+
+let test_obs_future_read () =
+  let h =
+    [
+      entry ~pid:1 ~inv:1 ~resp:2 (S.Scan [| 0 |]) ~res:(S.Vals [| 100 |]);
+      entry ~pid:0 ~inv:3 ~resp:4 (S.Update (0, 100)) ~res:S.Ack;
+    ]
+  in
+  check_bool "future read flagged" true (obs h <> [])
+
+let test_obs_stale_read () =
+  let h =
+    [
+      entry ~pid:0 ~inv:1 ~resp:2 (S.Update (0, 100)) ~res:S.Ack;
+      entry ~pid:0 ~inv:3 ~resp:4 (S.Update (0, 101)) ~res:S.Ack;
+      entry ~pid:1 ~inv:5 ~resp:6 (S.Scan [| 0 |]) ~res:(S.Vals [| 100 |]);
+    ]
+  in
+  check_bool "overwritten value flagged" true (obs h <> [])
+
+let test_obs_skew () =
+  (* Cross-component: scan pairs a version with one that implies a
+     linearization point after the first was overwritten. *)
+  let h =
+    [
+      entry ~pid:0 ~inv:1 ~resp:2 (S.Update (0, 100)) ~res:S.Ack;
+      entry ~pid:0 ~inv:3 ~resp:4 (S.Update (1, 101)) ~res:S.Ack;
+      entry ~pid:0 ~inv:5 ~resp:6 (S.Update (0, 102)) ~res:S.Ack;
+      entry ~pid:0 ~inv:7 ~resp:8 (S.Update (1, 103)) ~res:S.Ack;
+      (* scan claims (c0=100, c1=103): 103 forces t >= 7, but 100 was
+         overwritten by 102 which completed at 6 *)
+      entry ~pid:1 ~inv:1 ~resp:10 (S.Scan [| 0; 1 |])
+        ~res:(S.Vals [| 100; 103 |]);
+    ]
+  in
+  check_bool "skewed cut flagged" true (obs h <> [])
+
+let test_obs_monotonicity () =
+  let h =
+    [
+      entry ~pid:0 ~inv:1 ~resp:2 (S.Update (0, 100)) ~res:S.Ack;
+      entry ~pid:0 ~inv:3 ~resp:4 (S.Update (0, 101)) ~res:S.Ack;
+      (* both updates completed; consecutive scans go backwards in time *)
+      entry ~pid:1 ~inv:5 ~resp:6 (S.Scan [| 0 |]) ~res:(S.Vals [| 101 |]);
+      entry ~pid:1 ~inv:7 ~resp:8 (S.Scan [| 0 |]) ~res:(S.Vals [| 100 |]);
+    ]
+  in
+  check_bool "non-monotone scans flagged" true (obs h <> [])
+
+let test_obs_concurrent_ok () =
+  (* Concurrent updates: scans may see them in either order as long as each
+     scan alone is consistent. *)
+  let h =
+    [
+      entry ~pid:0 ~inv:1 ~resp:20 (S.Update (0, 100)) ~res:S.Ack;
+      entry ~pid:1 ~inv:1 ~resp:20 (S.Update (1, 200)) ~res:S.Ack;
+      entry ~pid:2 ~inv:2 ~resp:6 (S.Scan [| 0; 1 |]) ~res:(S.Vals [| 100; -2 |]);
+      entry ~pid:3 ~inv:2 ~resp:6 (S.Scan [| 0; 1 |]) ~res:(S.Vals [| -1; 200 |]);
+    ]
+  in
+  Alcotest.(check int) "no violations" 0 (List.length (obs h))
+
+(* ---- active set validity ---- *)
+
+let test_aset_valid () =
+  let h =
+    [
+      entry ~pid:0 ~inv:1 ~resp:2 A.Join ~res:A.Ack;
+      entry ~pid:1 ~inv:3 ~resp:4 A.Get_set ~res:(A.Set [ 0 ]);
+      entry ~pid:0 ~inv:5 ~resp:6 A.Leave ~res:A.Ack;
+      entry ~pid:1 ~inv:7 ~resp:8 A.Get_set ~res:(A.Set []);
+    ]
+  in
+  Alcotest.(check int) "valid" 0 (List.length (A.check h))
+
+let test_aset_missing_active () =
+  let h =
+    [
+      entry ~pid:0 ~inv:1 ~resp:2 A.Join ~res:A.Ack;
+      entry ~pid:1 ~inv:3 ~resp:4 A.Get_set ~res:(A.Set []);
+    ]
+  in
+  check_bool "missing active flagged" true (A.check h <> [])
+
+let test_aset_ghost_member () =
+  let h =
+    [
+      entry ~pid:0 ~inv:1 ~resp:2 A.Join ~res:A.Ack;
+      entry ~pid:0 ~inv:3 ~resp:4 A.Leave ~res:A.Ack;
+      entry ~pid:1 ~inv:5 ~resp:6 A.Get_set ~res:(A.Set [ 0 ]);
+    ]
+  in
+  check_bool "inactive member flagged" true (A.check h <> [])
+
+let test_aset_never_joined () =
+  let h = [ entry ~pid:1 ~inv:5 ~resp:6 A.Get_set ~res:(A.Set [ 9 ]) ] in
+  check_bool "never-joined member flagged" true (A.check h <> [])
+
+let test_aset_transitioning_free () =
+  (* join overlaps the getSet: including or excluding are both valid *)
+  let h incl =
+    [
+      entry ~pid:0 ~inv:2 ~resp:9 A.Join ~res:A.Ack;
+      entry ~pid:1 ~inv:3 ~resp:4 A.Get_set ~res:(A.Set (if incl then [ 0 ] else []));
+    ]
+  in
+  Alcotest.(check int) "included ok" 0 (List.length (A.check (h true)));
+  Alcotest.(check int) "excluded ok" 0 (List.length (A.check (h false)))
+
+let test_aset_crashed_leaver () =
+  (* pending leave: membership of p0 is forever ambiguous *)
+  let h incl =
+    [
+      entry ~pid:0 ~inv:1 ~resp:2 A.Join ~res:A.Ack;
+      entry ~pid:0 ~inv:3 A.Leave (* pending *);
+      entry ~pid:1 ~inv:10 ~resp:11 A.Get_set ~res:(A.Set (if incl then [ 0 ] else []));
+    ]
+  in
+  Alcotest.(check int) "included ok" 0 (List.length (A.check (h true)));
+  Alcotest.(check int) "excluded ok" 0 (List.length (A.check (h false)))
+
+(* ---- the checker against a brute-force reference ---- *)
+
+(* Reference decision procedure: enumerate every permutation of every
+   subset that keeps all completed entries, check real-time order and
+   responses by replay.  Exponential-factorial — only for <= 7 entries —
+   but obviously correct, so it validates the Wing-Gong search. *)
+let brute_force ~init entries =
+  let completed, pending =
+    List.partition (fun (e : _ H.entry) -> e.resp <> None) entries
+  in
+  let rec subsets = function
+    | [] -> [ [] ]
+    | x :: rest ->
+      let s = subsets rest in
+      s @ List.map (fun l -> x :: l) s
+  in
+  let rec permutations = function
+    | [] -> [ [] ]
+    | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y != x) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+  in
+  let respects_real_time order =
+    let rec go = function
+      | [] -> true
+      | e :: later ->
+        List.for_all (fun l -> not (H.precedes l e)) later && go later
+    in
+    go order
+  in
+  let responses_match order =
+    let st = ref init in
+    List.for_all
+      (fun (e : _ H.entry) ->
+        let st', r = S.Spec.apply !st e.op in
+        st := st';
+        match e.res with Some res -> res = r | None -> true)
+      order
+  in
+  List.exists
+    (fun chosen_pending ->
+      List.exists
+        (fun order -> respects_real_time order && responses_match order)
+        (permutations (completed @ chosen_pending)))
+    (subsets pending)
+
+let random_history st =
+  let n_ops = 1 + Random.State.int st 5 in
+  let clock = ref 0 in
+  List.init n_ops (fun _ ->
+      let inv = !clock + Random.State.int st 3 in
+      let len = 1 + Random.State.int st 6 in
+      clock := inv + Random.State.int st 4;
+      let pending = Random.State.int st 8 = 0 in
+      let op =
+        if Random.State.bool st then S.Update (Random.State.int st 2, Random.State.int st 3)
+        else S.Scan [| Random.State.int st 2 |]
+      in
+      let res =
+        if pending then None
+        else
+          Some
+            (match op with
+            | S.Update _ -> S.Ack
+            | S.Scan _ -> S.Vals [| Random.State.int st 3 |])
+      in
+      {
+        H.pid = Random.State.int st 3;
+        op;
+        res;
+        inv;
+        resp = (if pending then None else Some (inv + len));
+      })
+
+let test_checker_vs_brute_force () =
+  let st = Random.State.make [| 2024 |] in
+  let init = [| 0; 0 |] in
+  let agreements = ref 0 in
+  for _ = 1 to 400 do
+    let h = random_history st in
+    let expected = brute_force ~init h in
+    let got = S.check ~init h in
+    if expected <> got then
+      Alcotest.failf "checker disagrees with brute force (expected %b)"
+        expected;
+    incr agreements
+  done;
+  Alcotest.(check int) "all random histories agreed" 400 !agreements
+
+(* ---- history recorder ---- *)
+
+let test_recorder () =
+  let now =
+    let c = ref 0 in
+    fun () ->
+      incr c;
+      !c
+  in
+  let t = H.create ~now () in
+  let r = H.record t ~pid:3 `Op (fun () -> 42) in
+  Alcotest.(check int) "result passthrough" 42 r;
+  match H.entries t with
+  | [ e ] ->
+    Alcotest.(check int) "pid" 3 e.pid;
+    check_bool "completed" false (H.is_pending e);
+    check_bool "interval ordered" true (e.inv < Option.get e.resp)
+  | _ -> Alcotest.fail "one entry expected"
+
+let () =
+  Alcotest.run "lincheck"
+    [
+      ( "wing-gong",
+        [
+          Alcotest.test_case "empty" `Quick test_empty_history;
+          Alcotest.test_case "sequential ok" `Quick test_sequential_ok;
+          Alcotest.test_case "sequential stale" `Quick
+            test_sequential_stale_rejected;
+          Alcotest.test_case "concurrent either order" `Quick
+            test_concurrent_either_order;
+          Alcotest.test_case "double collect anomaly" `Quick
+            test_double_collect_violation;
+          Alcotest.test_case "real-time order" `Quick
+            test_real_time_order_enforced;
+          Alcotest.test_case "pending update" `Quick test_pending_update_may_apply;
+          Alcotest.test_case "partial projection" `Quick
+            test_partial_scan_projection;
+          Alcotest.test_case "length cap" `Quick test_too_long_raises;
+          Alcotest.test_case "agrees with brute force on 400 random histories"
+            `Quick test_checker_vs_brute_force;
+        ] );
+      ( "observations",
+        [
+          Alcotest.test_case "clean" `Quick test_obs_clean;
+          Alcotest.test_case "future read" `Quick test_obs_future_read;
+          Alcotest.test_case "stale read" `Quick test_obs_stale_read;
+          Alcotest.test_case "skewed cut" `Quick test_obs_skew;
+          Alcotest.test_case "monotonicity" `Quick test_obs_monotonicity;
+          Alcotest.test_case "concurrent ok" `Quick test_obs_concurrent_ok;
+        ] );
+      ( "active-set",
+        [
+          Alcotest.test_case "valid" `Quick test_aset_valid;
+          Alcotest.test_case "missing active" `Quick test_aset_missing_active;
+          Alcotest.test_case "ghost member" `Quick test_aset_ghost_member;
+          Alcotest.test_case "never joined" `Quick test_aset_never_joined;
+          Alcotest.test_case "transitioning free" `Quick
+            test_aset_transitioning_free;
+          Alcotest.test_case "crashed leaver" `Quick test_aset_crashed_leaver;
+        ] );
+      ("recorder", [ Alcotest.test_case "basic" `Quick test_recorder ]);
+    ]

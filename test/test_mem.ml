@@ -1,0 +1,145 @@
+(* Tests of the unbounded register array (chunk directory over MEM). *)
+
+open Psnap
+module M = Mem.Sim
+module Inf = Psnap.Mem.Infinite_array.Make (Psnap.Mem.Sim)
+module Inf_atomic = Psnap.Mem.Infinite_array.Make (Psnap.Mem.Atomic)
+
+let check_int = Alcotest.(check int)
+
+let in_sim f =
+  let out = ref None in
+  ignore
+    (Sim.run ~sched:(Scheduler.round_robin ()) [| (fun () -> out := Some (f ())) |]);
+  Option.get !out
+
+let test_read_default () =
+  let v =
+    in_sim (fun () ->
+        let a = Inf.create (-1) in
+        List.map (Inf.read a) [ 0; 1; 5; 100; 10_000 ])
+  in
+  Alcotest.(check (list int)) "defaults" [ -1; -1; -1; -1; -1 ] v
+
+let test_write_read_roundtrip () =
+  let v =
+    in_sim (fun () ->
+        let a = Inf.create 0 in
+        List.iter (fun i -> Inf.write a i (i * 7)) [ 0; 1; 2; 3; 63; 64; 1000 ];
+        List.map (Inf.read a) [ 0; 1; 2; 3; 63; 64; 1000; 4 ])
+  in
+  Alcotest.(check (list int))
+    "values" [ 0; 7; 14; 21; 441; 448; 7000; 0 ] v
+
+let test_neighbors_independent () =
+  let v =
+    in_sim (fun () ->
+        let a = Inf.create 0 in
+        Inf.write a 41 1;
+        (Inf.read a 40, Inf.read a 41, Inf.read a 42))
+  in
+  let a, b, c = v in
+  check_int "left" 0 a;
+  check_int "hit" 1 b;
+  check_int "right" 0 c
+
+let test_negative_rejected () =
+  ignore
+    (in_sim (fun () ->
+         let a = Inf.create 0 in
+         (try ignore (Inf.read a (-1)) with Invalid_argument _ -> ());
+         0))
+
+let test_access_cost_constant () =
+  (* One access = directory read + (chunk install CAS)? + slot access:
+     at most 3 steps, regardless of index. *)
+  let cost i =
+    let steps = ref 0 in
+    let procs =
+      [|
+        (fun () ->
+          let a = Inf.create 0 in
+          let s0 = Sim.steps_of 0 in
+          Inf.write a i 1;
+          steps := Sim.steps_of 0 - s0);
+      |]
+    in
+    ignore (Sim.run ~sched:(Scheduler.round_robin ()) procs);
+    !steps
+  in
+  List.iter
+    (fun i ->
+      let c = cost i in
+      Alcotest.(check bool)
+        (Printf.sprintf "cost at %d is <= 3 (got %d)" i c)
+        true (c <= 3))
+    [ 0; 1; 10; 1_000; 100_000 ]
+
+let test_concurrent_install_race () =
+  (* Two processes write to the same fresh chunk concurrently under every
+     schedule of their (few) steps: both writes must land. *)
+  let n_schedules = ref 0 in
+  let make () =
+    let a = ref None in
+    let procs =
+      [|
+        (fun () ->
+          let arr = Inf.create 0 in
+          a := Some arr;
+          Inf.write arr 3 10);
+        (fun () ->
+          (* wait-free: p1 spins locally until p0 allocates; allocation is
+             step-free so under replay p0's creation happened already *)
+          match !a with
+          | Some arr -> Inf.write arr 4 20
+          | None -> ());
+      |]
+    in
+    let check () =
+      match !a with
+      | None -> ()
+      | Some arr ->
+        incr n_schedules;
+        let got = in_sim (fun () -> (Inf.read arr 3, Inf.read arr 4)) in
+        if got <> (10, 20) && got <> (10, 0) then
+          Alcotest.failf "lost write: (%d,%d)" (fst got) (snd got)
+    in
+    (procs, check)
+  in
+  (* p1 only writes if p0's allocation ran first; the explorer covers all
+     interleavings of the shared steps. *)
+  ignore (Explore.run ~make ());
+  Alcotest.(check bool) "explored some schedules" true (!n_schedules > 0)
+
+let test_atomic_backend_concurrent () =
+  (* Same chunk raced by 4 domains on real atomics: all writes land. *)
+  let arr = Inf_atomic.create 0 in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for k = 0 to 99 do
+              Inf_atomic.write arr ((d * 100) + k) (((d * 100) + k) * 3)
+            done))
+  in
+  List.iter Domain.join domains;
+  let ok = ref true in
+  for i = 0 to 399 do
+    if Inf_atomic.read arr i <> i * 3 then ok := false
+  done;
+  Alcotest.(check bool) "all 400 writes visible" true !ok
+
+let () =
+  Alcotest.run "infinite_array"
+    [
+      ( "sim",
+        [
+          Alcotest.test_case "defaults" `Quick test_read_default;
+          Alcotest.test_case "roundtrip" `Quick test_write_read_roundtrip;
+          Alcotest.test_case "neighbors" `Quick test_neighbors_independent;
+          Alcotest.test_case "negative index" `Quick test_negative_rejected;
+          Alcotest.test_case "O(1) access cost" `Quick test_access_cost_constant;
+          Alcotest.test_case "install race" `Quick test_concurrent_install_race;
+        ] );
+      ( "atomic",
+        [ Alcotest.test_case "4 domains" `Quick test_atomic_backend_concurrent ] );
+    ]

@@ -1,0 +1,151 @@
+(* Property tests for views and their two register representations
+   (wholesale vs the small-registers variant of the paper's remarks). *)
+
+open Psnap
+module View = Snapshot.View
+module Direct = Snapshot.View_repr.Direct
+module Indirect = Snapshot.View_repr.Indirect (Psnap.Mem.Sim)
+
+let check_int = Alcotest.(check int)
+
+let in_sim f =
+  let out = ref None in
+  ignore
+    (Sim.run ~sched:(Scheduler.round_robin ())
+       [| (fun () -> out := Some (f ())) |]);
+  Option.get !out
+
+(* ---- View unit tests ---- *)
+
+let test_view_basics () =
+  let v = View.of_pairs [ (5, "e"); (1, "a"); (9, "i") ] in
+  check_int "size" 3 (View.size v);
+  Alcotest.(check (option string)) "find hit" (Some "e") (View.find v 5);
+  Alcotest.(check (option string)) "find miss" None (View.find v 4);
+  Alcotest.(check bool) "mem" true (View.mem v 1);
+  Alcotest.(check string) "find_exn" "i" (View.find_exn v 9);
+  Alcotest.(check (list (pair int string)))
+    "sorted pairs"
+    [ (1, "a"); (5, "e"); (9, "i") ]
+    (View.to_pairs v);
+  Alcotest.(check bool) "duplicate rejected" true
+    (match View.of_pairs [ (1, "x"); (1, "y") ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_view_empty () =
+  check_int "empty size" 0 (View.size View.empty);
+  Alcotest.(check (option int)) "empty find" None (View.find View.empty 0)
+
+(* ---- qcheck: find agrees with assoc on random pair sets ---- *)
+
+let pairs_gen =
+  QCheck2.Gen.(
+    map
+      (fun l ->
+        (* dedupe indices *)
+        let seen = Hashtbl.create 8 in
+        List.filter
+          (fun (i, _) ->
+            if Hashtbl.mem seen i then false
+            else begin
+              Hashtbl.add seen i ();
+              true
+            end)
+          l)
+      (list_size (int_bound 30) (pair (int_bound 100) (int_bound 1000))))
+
+let prop_find_agrees_with_assoc =
+  QCheck2.Test.make ~name:"View.find = List.assoc" ~count:300 pairs_gen
+    (fun pairs ->
+      let v = View.of_pairs pairs in
+      List.for_all
+        (fun i -> View.find v i = List.assoc_opt i pairs)
+        (List.init 102 (fun i -> i)))
+
+let prop_direct_indirect_agree =
+  QCheck2.Test.make ~name:"Direct and Indirect representations agree"
+    ~count:200 pairs_gen (fun pairs ->
+      let sorted = List.sort compare pairs in
+      let idxs = Array.of_list (List.map fst sorted) in
+      let vals = Array.of_list (List.map snd sorted) in
+      in_sim (fun () ->
+          let d = Direct.publish ~idxs ~vals in
+          let ind = Indirect.publish ~idxs ~vals in
+          Direct.size d = Indirect.size ind
+          && List.for_all
+               (fun i ->
+                 let a =
+                   match Direct.find_exn d i with
+                   | x -> Some x
+                   | exception Invalid_argument _ -> None
+                 in
+                 let b =
+                   match Indirect.find_exn ind i with
+                   | x -> Some x
+                   | exception Invalid_argument _ -> None
+                 in
+                 a = b)
+               (List.init 102 (fun i -> i))))
+
+(* ---- step costs of the two representations ---- *)
+
+let test_publish_costs () =
+  let idxs = Array.init 10 (fun i -> i * 3) in
+  let vals = Array.init 10 (fun i -> i) in
+  let direct_cost =
+    in_sim (fun () ->
+        let s0 = Sim.steps_of 0 in
+        ignore (Direct.publish ~idxs ~vals);
+        Sim.steps_of 0 - s0)
+  in
+  let indirect_cost =
+    in_sim (fun () ->
+        let s0 = Sim.steps_of 0 in
+        ignore (Indirect.publish ~idxs ~vals);
+        Sim.steps_of 0 - s0)
+  in
+  check_int "direct publish is free" 0 direct_cost;
+  check_int "indirect publish writes one register per pair" 10 indirect_cost
+
+let test_find_costs () =
+  let n = 64 in
+  let idxs = Array.init n (fun i -> i * 2) in
+  let vals = Array.init n (fun i -> i) in
+  let direct_cost =
+    in_sim (fun () ->
+        let d = Direct.publish ~idxs ~vals in
+        let s0 = Sim.steps_of 0 in
+        ignore (Direct.find_exn d 62);
+        Sim.steps_of 0 - s0)
+  in
+  let indirect_cost =
+    in_sim (fun () ->
+        let ind = Indirect.publish ~idxs ~vals in
+        let s0 = Sim.steps_of 0 in
+        ignore (Indirect.find_exn ind 62);
+        Sim.steps_of 0 - s0)
+  in
+  check_int "direct lookup is free" 0 direct_cost;
+  Alcotest.(check bool)
+    (Printf.sprintf "indirect lookup is <= log2 n + 1 reads (%d)" indirect_cost)
+    true
+    (indirect_cost >= 1 && indirect_cost <= 7)
+
+let () =
+  Alcotest.run "view"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basics" `Quick test_view_basics;
+          Alcotest.test_case "empty" `Quick test_view_empty;
+        ] );
+      ( "props",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_find_agrees_with_assoc; prop_direct_indirect_agree ] );
+      ( "costs",
+        [
+          Alcotest.test_case "publish" `Quick test_publish_costs;
+          Alcotest.test_case "find" `Quick test_find_costs;
+        ] );
+    ]
