@@ -6,6 +6,10 @@ all:
 test:
 	dune runtest
 
+# Memory-discipline static analysis (docs/MODEL.md, "Memory discipline").
+lint:
+	dune build @lint
+
 # Regenerate every experiment table (E1..E13 step counts + E8 wall clock).
 bench:
 	dune exec bench/main.exe
@@ -23,4 +27,4 @@ pin-outputs:
 clean:
 	dune clean
 
-.PHONY: all test bench examples pin-outputs clean
+.PHONY: all test lint bench examples pin-outputs clean

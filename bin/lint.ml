@@ -1,0 +1,39 @@
+(* psnap-lint: static memory-discipline checks over the algorithm
+   libraries.  Exits nonzero iff violations are found.
+
+     psnap-lint [--json] [--list] [PATH ...]     (default PATH: lib)
+
+   See docs/MODEL.md, "Memory discipline" for the rules (R1 no-escape,
+   R2 cas-discipline, R3 loop-bound) and the waiver attributes. *)
+
+module Lint = Psnap_analysis.Lint
+module Diagnostic = Psnap_analysis.Diagnostic
+
+let () =
+  let json = ref false in
+  let list_files = ref false in
+  let paths = ref [] in
+  let spec =
+    [
+      ("--json", Arg.Set json, " emit the report as a JSON object on stdout");
+      ("--list", Arg.Set list_files, " also list the files checked");
+    ]
+  in
+  let usage = "psnap-lint [--json] [--list] [PATH ...]   (default PATH: lib)" in
+  Arg.parse spec (fun p -> paths := p :: !paths) usage;
+  let paths = match List.rev !paths with [] -> [ "lib" ] | ps -> ps in
+  (match List.find_opt (fun p -> not (Sys.file_exists p)) paths with
+  | Some p ->
+    Printf.eprintf "psnap-lint: no such path: %s\n" p;
+    exit 2
+  | None -> ());
+  let files, diags = Lint.lint_paths paths in
+  if !json then print_endline (Diagnostic.report_json ~files:(List.length files) diags)
+  else begin
+    if !list_files then
+      List.iter (fun f -> Printf.printf "checking %s\n" f) files;
+    List.iter (fun d -> Format.printf "%a@." Diagnostic.pp d) diags;
+    Printf.printf "psnap-lint: %d file(s) checked, %d violation(s)\n"
+      (List.length files) (List.length diags)
+  end;
+  exit (if diags = [] then 0 else 1)

@@ -11,7 +11,14 @@
 module Make (M : Psnap_mem.Mem_intf.S) : Activeset_intf.S = struct
   type t = { flags : bool M.ref_ array }
 
-  type handle = { t : t; pid : int; mutable joined : bool }
+  type handle = {
+    t : t;
+    pid : int;
+    mutable joined : bool;
+        [@psnap.local_state
+          "single-owner handle flag guarding join/leave alternation; never \
+           read by another process"]
+  }
 
   let name = "bounded"
 
@@ -32,7 +39,8 @@ module Make (M : Psnap_mem.Mem_intf.S) : Activeset_intf.S = struct
 
   let get_set t =
     let n = Array.length t.flags in
-    let rec go acc pid =
+    let[@psnap.bounded "exactly n flag reads, one per process"] rec go acc pid
+        =
       if pid < 0 then acc
       else go (if M.read t.flags.(pid) then pid :: acc else acc) (pid - 1)
     in

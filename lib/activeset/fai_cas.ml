@@ -35,7 +35,14 @@ module Make (M : Psnap_mem.Mem_intf.S) = struct
     skips : Interval_set.t M.ref_;  (** C *)
   }
 
-  type handle = { t : t; pid : int; mutable slot : int }
+  type handle = {
+    t : t;
+    pid : int;
+    mutable slot : int;
+        [@psnap.local_state
+          "single-owner handle field remembering the slot handed out by H; \
+           never read by another process"]
+  }
   (** [slot = -1] iff the process is not active (join/leave alternation). *)
 
   let name = "fai-cas"
@@ -63,8 +70,15 @@ module Make (M : Psnap_mem.Mem_intf.S) = struct
   let get_set t =
     let old_skips = M.read t.skips in
     let h = M.read t.next in
-    let members = ref [] in
-    let new_skips = ref old_skips in
+    let[@psnap.local_state
+         "accumulator for the result list, private to this getSet"] members =
+      ref []
+    in
+    let[@psnap.local_state
+         "candidate interval list built privately, published only via the \
+          final CAS"] new_skips =
+      ref old_skips
+    in
     if h > 0 then
       Interval_set.fold_gaps ~lo:0 ~hi:(h - 1)
         (fun () j ->

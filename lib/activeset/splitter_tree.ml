@@ -40,7 +40,18 @@ module Make (M : Psnap_mem.Mem_intf.S) : Activeset_intf.S = struct
     mark : bool Arr.t;  (** owner currently active *)
   }
 
-  type handle = { t : t; pid : int; mutable node : int; mutable joined : bool }
+  type handle = {
+    t : t;
+    pid : int;
+    mutable node : int;
+        [@psnap.local_state
+          "single-owner handle field caching the node this process stopped \
+           at; never read by another process"]
+    mutable joined : bool;
+        [@psnap.local_state
+          "single-owner handle flag guarding join/leave alternation; never \
+           read by another process"]
+  }
   (** [node = -1] until the first join acquires an owned node. *)
 
   let name = "splitter-tree"
@@ -61,7 +72,10 @@ module Make (M : Psnap_mem.Mem_intf.S) : Activeset_intf.S = struct
 
   let acquire h =
     let t = h.t in
-    let rec walk u depth =
+    let[@psnap.bounded
+         "splitter property: of k concurrent entrants at most k-1 go right \
+          and at most k-1 go down, so a process stops within depth k; the \
+          max_depth cutoff makes the bound explicit"] rec walk u depth =
       if depth > max_depth then
         failwith "Splitter_tree: walk exceeded depth bound";
       Arr.write t.used u true;
@@ -90,8 +104,13 @@ module Make (M : Psnap_mem.Mem_intf.S) : Activeset_intf.S = struct
     Arr.write h.t.mark h.node false
 
   let get_set t =
-    let members = ref [] in
-    let rec dfs u =
+    let[@psnap.local_state
+         "accumulator for the result list, private to this getSet"] members =
+      ref []
+    in
+    let[@psnap.bounded
+         "visits only used-flagged nodes: at most quadratic in the number of \
+          distinct joiners so far"] rec dfs u =
       if Arr.read t.used u then begin
         (if Arr.read t.mark u then
            let p = Arr.read t.owner u in

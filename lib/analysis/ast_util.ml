@@ -1,0 +1,89 @@
+(** Small Parsetree helpers shared by the rules. *)
+
+open Parsetree
+
+let rec last_of_longident = function
+  | Longident.Lident s -> s
+  | Longident.Ldot (_, s) -> s
+  | Longident.Lapply (_, l) -> last_of_longident l
+
+(** Head module of a dotted path: [Array.set] -> [Some "Array"],
+    [Stdlib.Array.set] -> [Some "Array"] (the [Stdlib] prefix is
+    transparent), plain idents -> [None]. *)
+let head_module lid =
+  let rec strip = function
+    | Longident.Ldot (Longident.Lident "Stdlib", s) -> Longident.Lident s
+    | Longident.Ldot (p, s) -> Longident.Ldot (strip p, s)
+    | l -> l
+  in
+  match strip lid with
+  | Longident.Ldot (p, _) -> (
+    match p with
+    | Longident.Lident m -> Some m
+    | Longident.Ldot (_, m) -> Some m
+    | Longident.Lapply _ -> None)
+  | Longident.Lident _ | Longident.Lapply _ -> None
+
+(** Variable names bound by a pattern (tuples, aliases, constraints). *)
+let rec pattern_vars p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> [ txt ]
+  | Ppat_alias (p, { txt; _ }) -> txt :: pattern_vars p
+  | Ppat_tuple ps -> List.concat_map pattern_vars ps
+  | Ppat_constraint (p, _) | Ppat_open (_, p) | Ppat_lazy p -> pattern_vars p
+  | Ppat_construct (_, Some (_, p)) | Ppat_variant (_, Some p) ->
+    pattern_vars p
+  | Ppat_record (fields, _) -> List.concat_map (fun (_, p) -> pattern_vars p) fields
+  | Ppat_array ps -> List.concat_map pattern_vars ps
+  | Ppat_or (a, b) -> pattern_vars a @ pattern_vars b
+  | _ -> []
+
+(** [expr_exists p e] — some subexpression of [e] satisfies [p]. *)
+let expr_exists p e =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          if p e then found := true;
+          if not !found then Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e;
+  !found
+
+(** Applies (or mentions) an identifier whose last path component is
+    [name] — e.g. [ident_used "read" e] is true for [M.read r] and
+    [Slots.read t j]. *)
+let ident_used name e =
+  expr_exists
+    (fun e ->
+      match e.pexp_desc with
+      | Pexp_ident { txt; _ } -> last_of_longident txt = name
+      | _ -> false)
+    e
+
+(** Walk every module expression of a structure (functor bodies,
+    [module M = struct .. end], includes), calling [f] on each structure
+    found, [f] being responsible only for the items of that structure. *)
+let rec iter_structures (f : structure -> unit) (str : structure) =
+  f str;
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_module { pmb_expr; _ } -> iter_module f pmb_expr
+      | Pstr_recmodule mbs ->
+        List.iter (fun { pmb_expr; _ } -> iter_module f pmb_expr) mbs
+      | Pstr_include { pincl_mod; _ } -> iter_module f pincl_mod
+      | _ -> ())
+    str
+
+and iter_module f me =
+  match me.pmod_desc with
+  | Pmod_structure s -> iter_structures f s
+  | Pmod_functor (_, me) | Pmod_constraint (me, _) -> iter_module f me
+  | Pmod_apply (a, b) ->
+    iter_module f a;
+    iter_module f b
+  | _ -> ()

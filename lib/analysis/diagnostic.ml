@@ -1,0 +1,80 @@
+(** Diagnostics emitted by the psnap-lint rules, with human-readable and
+    JSON renderings.  A diagnostic pins a rule violation to a file:line:col
+    so editors and CI can jump to it. *)
+
+type rule =
+  | Escape  (** R1: raw mutable state in an algorithm library *)
+  | Cas_discipline  (** R2: [cas ~expected] not bound from a prior read *)
+  | Loop_bound  (** R3: unannotated retry loop over shared memory *)
+  | Waiver_syntax  (** malformed waiver attribute (e.g. missing reason) *)
+  | Parse_error  (** the file does not parse *)
+
+let rule_id = function
+  | Escape -> "R1"
+  | Cas_discipline -> "R2"
+  | Loop_bound -> "R3"
+  | Waiver_syntax -> "W0"
+  | Parse_error -> "E0"
+
+let rule_name = function
+  | Escape -> "no-escape"
+  | Cas_discipline -> "cas-discipline"
+  | Loop_bound -> "loop-bound"
+  | Waiver_syntax -> "waiver-syntax"
+  | Parse_error -> "parse-error"
+
+type t = { rule : rule; file : string; line : int; col : int; message : string }
+
+let v ~rule ~(loc : Location.t) message =
+  let p = loc.Location.loc_start in
+  {
+    rule;
+    file = p.Lexing.pos_fname;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    message;
+  }
+
+(** Stable presentation order: by position, then rule. *)
+let compare_pos a b =
+  compare (a.file, a.line, a.col, rule_id a.rule)
+    (b.file, b.line, b.col, rule_id b.rule)
+
+let pp ppf d =
+  Format.fprintf ppf "%s:%d:%d: [%s/%s] %s" d.file d.line d.col
+    (rule_id d.rule) (rule_name d.rule) d.message
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json d =
+  Printf.sprintf
+    {|{"rule":"%s","name":"%s","file":"%s","line":%d,"col":%d,"message":"%s"}|}
+    (rule_id d.rule) (rule_name d.rule) (json_escape d.file) d.line d.col
+    (json_escape d.message)
+
+(** The whole report as one JSON object, for the [--json] CI artifact. *)
+let report_json ~files diags =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf {|{"tool":"psnap-lint","files_checked":%d,"violations":%d,"diagnostics":[|}
+       files (List.length diags));
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (to_json d))
+    diags;
+  Buffer.add_string b "]}";
+  Buffer.contents b

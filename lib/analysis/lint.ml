@@ -1,0 +1,86 @@
+(** psnap-lint driver: parse OCaml sources with compiler-libs and run the
+    memory-discipline rules over them.
+
+    The rules apply to the {e algorithm libraries} — [lib/snapshot],
+    [lib/activeset], [lib/apps] — whose step counts the theorems are stated
+    about.  Backend and infrastructure code ([lib/mem], [lib/sched], ...)
+    legitimately implements the mutation the algorithms must not perform,
+    so it is exempt (reported as skipped). *)
+
+type ruleset = Algorithm | Exempt
+
+let algorithm_dirs = [ "lib/snapshot"; "lib/activeset"; "lib/apps" ]
+
+(* Path components, so "x/lib/snapshot/foo.ml" matches "lib/snapshot". *)
+let ruleset_for_path path =
+  let parts =
+    String.split_on_char '/' (String.concat "/" (String.split_on_char '\\' path))
+  in
+  let rec has_pair = function
+    | a :: (b :: _ as rest) ->
+      List.mem (a ^ "/" ^ b) algorithm_dirs || has_pair rest
+    | _ -> false
+  in
+  if has_pair parts then Algorithm else Exempt
+
+let parse ~file source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf file;
+  Parse.implementation lexbuf
+
+(** Lint one compilation unit given as a string.  [ruleset] defaults to
+    what [file]'s path implies. *)
+let lint_source ?ruleset ~file source =
+  let ruleset =
+    match ruleset with Some r -> r | None -> ruleset_for_path file
+  in
+  match ruleset with
+  | Exempt -> []
+  | Algorithm -> (
+    match parse ~file source with
+    | exception e ->
+      let loc, msg =
+        match Location.error_of_exn e with
+        | Some (`Ok err) ->
+          ( err.Location.main.loc,
+            Format.asprintf "%a" Location.print_report err )
+        | _ -> (Location.in_file file, Printexc.to_string e)
+      in
+      [ Diagnostic.v ~rule:Parse_error ~loc msg ]
+    | str ->
+      let diags = ref [] in
+      let diag d = diags := d :: !diags in
+      Rule_escape.check str ~diag;
+      Rule_cas.check str ~diag;
+      Rule_loops.check str ~diag;
+      List.sort Diagnostic.compare_pos !diags)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file path = lint_source ~file:path (read_file path)
+
+let is_ml path = Filename.check_suffix path ".ml"
+
+let rec find_ml_files path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.concat_map (fun entry ->
+           if entry = "" || entry.[0] = '.' || entry = "_build" then []
+           else find_ml_files (Filename.concat path entry))
+  else if is_ml path then [ path ]
+  else []
+
+(** Lint every [.ml] file under the given paths.  Returns the files that
+    were actually checked (algorithm ruleset) and all diagnostics, in
+    stable order. *)
+let lint_paths paths =
+  let files = List.concat_map find_ml_files paths in
+  let checked =
+    List.filter (fun f -> ruleset_for_path f = Algorithm) files
+  in
+  let diags = List.concat_map lint_file checked in
+  (checked, List.sort Diagnostic.compare_pos diags)

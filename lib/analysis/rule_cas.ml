@@ -1,0 +1,74 @@
+(** R2 (cas-discipline): every [cas] call must pass an [~expected] value
+    bound from a prior [read] in the same lexical scope.
+
+    The Mem model's compare&swap compares with {e physical} equality
+    (see [lib/mem/mem_intf.ml]): it is only a faithful model of a hardware
+    pointer CAS — and only avoids the ABA problem the way the paper's
+    tagged values do — if the expected value is the exact value previously
+    read from the cell, never a reconstructed or constant value.  This rule
+    enforces that shape syntactically: the [~expected] argument must be
+    (or be let-bound to) an expression that performs a [read]. *)
+
+open Parsetree
+module SSet = Set.Make (String)
+
+let derives_from_read e = Ast_util.ident_used "read" e
+
+let check (str : structure) ~(diag : Diagnostic.t -> unit) =
+  let rec walk (env : SSet.t) (e : expression) =
+    match e.pexp_desc with
+    | Pexp_let (_, vbs, body) ->
+      List.iter (fun vb -> walk env vb.pvb_expr) vbs;
+      let env' =
+        List.fold_left
+          (fun env vb ->
+            if derives_from_read vb.pvb_expr then
+              List.fold_left
+                (fun env n -> SSet.add n env)
+                env
+                (Ast_util.pattern_vars vb.pvb_pat)
+            else env)
+          env vbs
+      in
+      walk env' body
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+      when Ast_util.last_of_longident txt = "cas" ->
+      (match
+         List.find_opt
+           (fun (lbl, _) -> lbl = Asttypes.Labelled "expected")
+           args
+       with
+      | Some (_, expected) ->
+        let ok =
+          derives_from_read expected
+          ||
+          match expected.pexp_desc with
+          | Pexp_ident { txt = Longident.Lident x; _ } -> SSet.mem x env
+          | _ -> false
+        in
+        if not ok then
+          diag
+            (Diagnostic.v ~rule:Cas_discipline ~loc:expected.pexp_loc
+               "cas ~expected must be bound from a prior read of the cell \
+                (physical-equality CAS: comparing against a reconstructed \
+                or constant value reintroduces ABA; see lib/mem/mem_intf.ml)")
+      | None -> ());
+      List.iter (fun (_, a) -> walk env a) args
+    | _ ->
+      (* Generic descent preserving [env]. *)
+      let it =
+        { Ast_iterator.default_iterator with expr = (fun _ e -> walk env e) }
+      in
+      Ast_iterator.default_iterator.expr it e
+  in
+  Ast_util.iter_structures
+    (fun items ->
+      List.iter
+        (fun item ->
+          match item.pstr_desc with
+          | Pstr_value (_, vbs) ->
+            List.iter (fun vb -> walk SSet.empty vb.pvb_expr) vbs
+          | Pstr_eval (e, _) -> walk SSet.empty e
+          | _ -> ())
+        items)
+    str

@@ -1,0 +1,160 @@
+(** R1 (no-escape): in algorithm libraries, every shared-memory access must
+    go through the [Mem_intf.S] functor parameter, so that the simulator
+    counts it as a step.  Raw OCaml mutability — [ref] cells, mutable
+    record fields, array/bytes mutation, [Hashtbl], direct [Atomic] — is an
+    {e escape}: the simulator cannot see it, so a stray one silently
+    corrupts the step counts Theorems 1-3 are validated against.
+
+    Escapes that are genuinely process-local scratch state (never shared
+    between processes, hence invisible to the model's cost measure) are
+    waived by [[@psnap.local_state "reason"]]:
+
+    - on a [let] binding — the binding's body is exempt, and the bound
+      names become legal targets for [:=]/[!]/[incr]/array-set/[Hashtbl]
+      operations elsewhere in the file;
+    - on a record field declaration — the field and assignments to it (or
+      to its contents) are exempt;
+    - on an expression — that subtree is exempt. *)
+
+open Parsetree
+module SSet = Set.Make (String)
+
+let ref_family = SSet.of_list [ "ref"; ":="; "!"; "incr"; "decr" ]
+
+let mutators = SSet.of_list [ "set"; "unsafe_set"; "fill"; "blit" ]
+
+let check (str : structure) ~(diag : Diagnostic.t -> unit) =
+  let waived_fields = ref SSet.empty in
+  let waived_names = ref SSet.empty in
+  let add_diag ~loc msg = diag (Diagnostic.v ~rule:Escape ~loc msg) in
+  let bad_waiver (loc, msg) = diag (Diagnostic.v ~rule:Waiver_syntax ~loc msg) in
+
+  (* Pass 1: record label declarations — collect waivers, flag unwaived
+     mutable fields. *)
+  let type_pass =
+    {
+      Ast_iterator.default_iterator with
+      type_declaration =
+        (fun it td ->
+          (match td.ptype_kind with
+          | Ptype_record labels ->
+            List.iter
+              (fun (ld : label_declaration) ->
+                match Waiver.local_state ld.pld_attributes with
+                | Waiver.Waived _ ->
+                  waived_fields := SSet.add ld.pld_name.txt !waived_fields
+                | Waiver.Malformed (loc, msg) -> bad_waiver (loc, msg)
+                | Waiver.Not_waived ->
+                  if ld.pld_mutable = Mutable then
+                    add_diag ~loc:ld.pld_loc
+                      (Printf.sprintf
+                         "mutable record field '%s' in an algorithm library: \
+                          shared state must live in Mem cells; if this is \
+                          process-local, annotate it with [@psnap.local_state \
+                          \"reason\"]"
+                         ld.pld_name.txt))
+              labels
+          | _ -> ());
+          Ast_iterator.default_iterator.type_declaration it td);
+    }
+  in
+  type_pass.structure type_pass str;
+
+  (* A mutation whose target is a waived name or waived field is part of the
+     waived local state. *)
+  let waived_target e =
+    match e.pexp_desc with
+    | Pexp_ident { txt = Longident.Lident x; _ } -> SSet.mem x !waived_names
+    | Pexp_field (_, { txt; _ }) ->
+      SSet.mem (Ast_util.last_of_longident txt) !waived_fields
+    | _ -> false
+  in
+  let any_arg_waived args =
+    List.exists (fun ((_ : Asttypes.arg_label), e) -> waived_target e) args
+  in
+
+  (* Pass 2: expressions. *)
+  let rec expr it (e : expression) =
+    match Waiver.local_state e.pexp_attributes with
+    | Waiver.Waived _ -> ()
+    | Waiver.Malformed (loc, msg) -> bad_waiver (loc, msg)
+    | Waiver.Not_waived -> (
+      match e.pexp_desc with
+      | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args) ->
+        let name = Ast_util.last_of_longident txt in
+        let head = Ast_util.head_module txt in
+        (if head = None && SSet.mem name ref_family then begin
+           if name = "ref" then
+             add_diag ~loc
+               "ref cell allocated in an algorithm library: use a Mem cell \
+                (M.make), or waive genuinely local scratch state with \
+                [@psnap.local_state \"reason\"] on its binding"
+           else if not (any_arg_waived args) then
+             add_diag ~loc
+               (Printf.sprintf
+                  "'%s' on a ref cell that is not waived local state: shared \
+                   accesses must go through the Mem functor parameter" name)
+         end
+         else
+           match head with
+           | Some ("Array" | "Bytes") when SSet.mem name mutators ->
+             if not (any_arg_waived args) then
+               add_diag ~loc
+                 (Printf.sprintf
+                    "in-place %s.%s in an algorithm library: mutation is \
+                     invisible to the step-counting simulator; waive local \
+                     scratch arrays with [@psnap.local_state \"reason\"]"
+                    (Option.get head) name)
+           | Some "Hashtbl" ->
+             if not (any_arg_waived args) then
+               add_diag ~loc
+                 "Hashtbl use in an algorithm library: hash tables are \
+                  unsynchronized mutable state; use Mem cells, or waive a \
+                  process-local table with [@psnap.local_state \"reason\"]"
+           | Some "Atomic" ->
+             add_diag ~loc
+               "direct Atomic use bypasses the Mem functor parameter: the \
+                simulator backend would not count these accesses as steps"
+           | _ -> ());
+        List.iter (fun (_, a) -> expr it a) args
+      | Pexp_ident { txt; loc } -> (
+        match Ast_util.head_module txt with
+        | Some "Hashtbl" ->
+          add_diag ~loc
+            "Hashtbl use in an algorithm library: hash tables are \
+             unsynchronized mutable state (waivable with \
+             [@psnap.local_state \"reason\"])"
+        | Some "Atomic" ->
+          add_diag ~loc
+            "direct Atomic use bypasses the Mem functor parameter"
+        | _ ->
+          if txt = Longident.Lident "ref" then
+            add_diag ~loc
+              "ref constructor used as a value in an algorithm library")
+      | Pexp_setfield (lhs, { txt; loc }, rhs) ->
+        let field = Ast_util.last_of_longident txt in
+        if not (SSet.mem field !waived_fields) then
+          add_diag ~loc
+            (Printf.sprintf
+               "assignment to record field '%s' that is not waived local \
+                state" field);
+        expr it lhs;
+        expr it rhs
+      | Pexp_setinstvar ({ txt; _ }, rhs) ->
+        add_diag ~loc:e.pexp_loc
+          (Printf.sprintf "instance variable assignment '%s <- ...'" txt);
+        expr it rhs
+      | _ -> Ast_iterator.default_iterator.expr it e)
+  and value_binding it vb =
+    match Waiver.local_state vb.pvb_attributes with
+    | Waiver.Waived _ ->
+      waived_names :=
+        List.fold_left
+          (fun s n -> SSet.add n s)
+          !waived_names
+          (Ast_util.pattern_vars vb.pvb_pat)
+    | Waiver.Malformed (loc, msg) -> bad_waiver (loc, msg)
+    | Waiver.Not_waived -> Ast_iterator.default_iterator.value_binding it vb
+  in
+  let main = { Ast_iterator.default_iterator with expr; value_binding } in
+  main.structure main str

@@ -1,0 +1,138 @@
+(** R3 (loop-bound): in the wait-free algorithm libraries, a retry loop
+    over shared memory must carry an annotation stating why it terminates:
+
+    - [[@psnap.helping]] — termination comes from a helping mechanism;
+    - [[@psnap.bounded "reason"]] — an explicit iteration bound.
+
+    Detected shapes: [while true] loops, and [let rec] functions whose body
+    touches shared memory — directly (an application of
+    [read]/[write]/[cas]/[fetch_and_add]/[ll]/[sc]) or through another
+    binding in the same file that does (computed as a fixpoint, so a loop
+    that retries via a local [collect] helper is still caught).  Pure local
+    recursion (binary search, list merges) is not flagged. *)
+
+open Parsetree
+module SSet = Set.Make (String)
+
+let prims = SSet.of_list [ "read"; "write"; "cas"; "fetch_and_add"; "ll"; "sc" ]
+
+let uses_prim e =
+  Ast_util.expr_exists
+    (fun e ->
+      match e.pexp_desc with
+      | Pexp_ident { txt; _ } ->
+        SSet.mem (Ast_util.last_of_longident txt) prims
+      | _ -> false)
+    e
+
+(** Plain (unqualified) idents mentioned in [e], minus [except]. *)
+let plain_idents ~except e =
+  let acc = ref SSet.empty in
+  ignore
+    (Ast_util.expr_exists
+       (fun e ->
+         (match e.pexp_desc with
+         | Pexp_ident { txt = Longident.Lident x; _ } when x <> except ->
+           acc := SSet.add x !acc
+         | _ -> ());
+         false)
+       e);
+  !acc
+
+let binding_name vb =
+  match vb.pvb_pat.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | _ -> None
+
+let check (str : structure) ~(diag : Diagnostic.t -> unit) =
+  (* Pass 1: every named binding in the file, for the shared-touch
+     fixpoint. *)
+  let bindings = ref [] in
+  let collect =
+    {
+      Ast_iterator.default_iterator with
+      value_binding =
+        (fun it vb ->
+          (match binding_name vb with
+          | Some n -> bindings := (n, vb.pvb_expr) :: !bindings
+          | None -> ());
+          Ast_iterator.default_iterator.value_binding it vb);
+    }
+  in
+  collect.structure collect str;
+  let shared = ref SSet.empty in
+  List.iter
+    (fun (n, e) -> if uses_prim e then shared := SSet.add n !shared)
+    !bindings;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (n, e) ->
+        if
+          (not (SSet.mem n !shared))
+          && not (SSet.is_empty (SSet.inter (plain_idents ~except:n e) !shared))
+        then begin
+          shared := SSet.add n !shared;
+          changed := true
+        end)
+      !bindings
+  done;
+  let touches_shared ~name e =
+    uses_prim e
+    || not (SSet.is_empty (SSet.inter (plain_idents ~except:name e) !shared))
+  in
+
+  (* Pass 2: flag unannotated recursive shared-memory loops and
+     [while true]. *)
+  let check_rec_bindings vbs =
+    List.iter
+      (fun vb ->
+        let name = Option.value ~default:"_" (binding_name vb) in
+        match Waiver.loop_bound vb.pvb_attributes with
+        | Waiver.Waived _ -> ()
+        | Waiver.Malformed (loc, msg) ->
+          diag (Diagnostic.v ~rule:Waiver_syntax ~loc msg)
+        | Waiver.Not_waived ->
+          if touches_shared ~name vb.pvb_expr then
+            diag
+              (Diagnostic.v ~rule:Loop_bound ~loc:vb.pvb_loc
+                 (Printf.sprintf
+                    "recursive function '%s' retries over shared memory \
+                     without a termination annotation: add [@psnap.helping] \
+                     or [@psnap.bounded \"bound\"] stating why it is \
+                     wait-free"
+                    name)))
+      vbs
+  in
+  let expr it (e : expression) =
+    (match e.pexp_desc with
+    | Pexp_let (Asttypes.Recursive, vbs, _) -> check_rec_bindings vbs
+    | Pexp_while
+        ( {
+            pexp_desc =
+              Pexp_construct ({ txt = Longident.Lident "true"; _ }, None);
+            _;
+          },
+          _ ) -> (
+      match Waiver.loop_bound e.pexp_attributes with
+      | Waiver.Waived _ -> ()
+      | Waiver.Malformed (loc, msg) ->
+        diag (Diagnostic.v ~rule:Waiver_syntax ~loc msg)
+      | Waiver.Not_waived ->
+        diag
+          (Diagnostic.v ~rule:Loop_bound ~loc:e.pexp_loc
+             "'while true' loop in a wait-free module: annotate the loop \
+              with [@psnap.helping] or [@psnap.bounded \"bound\"], or bound \
+              it explicitly"))
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let structure_item it item =
+    (match item.pstr_desc with
+    | Pstr_value (Asttypes.Recursive, vbs) -> check_rec_bindings vbs
+    | _ -> ());
+    Ast_iterator.default_iterator.structure_item it item
+  in
+  let main = { Ast_iterator.default_iterator with expr; structure_item } in
+  main.structure main str

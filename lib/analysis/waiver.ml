@@ -1,0 +1,67 @@
+(** Recognition of the waiver attributes that document deliberate
+    exceptions to the lint rules:
+
+    - [[@psnap.local_state "reason"]] — R1 waiver: this binding / record
+      field / expression is genuinely process-local scratch state, never
+      shared between processes.  The reason string is mandatory: every
+      waiver must say {e why} the state cannot leak into step counts.
+    - [[@psnap.helping]] — R3 waiver: the loop terminates because of a
+      helping mechanism (condition (2) of the collect engine, f-array
+      double-refresh collision, ...).
+    - [[@psnap.bounded "reason"]] — R3 waiver: the loop has an explicit
+      iteration bound, stated in the reason. *)
+
+open Parsetree
+
+let string_payload (attr : attribute) =
+  match attr.attr_payload with
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+    Some s
+  | _ -> None
+
+let find_attr name attrs =
+  List.find_opt (fun (a : attribute) -> a.attr_name.txt = name) attrs
+
+(** Result of looking for a waiver on a node. *)
+type check =
+  | Not_waived
+  | Waived of string  (** the reason *)
+  | Malformed of Location.t * string  (** waiver present but unusable *)
+
+(** R1 waiver: [[@psnap.local_state "reason"]]; the reason is mandatory. *)
+let local_state attrs =
+  match find_attr "psnap.local_state" attrs with
+  | None -> Not_waived
+  | Some a -> (
+    match string_payload a with
+    | Some s when String.trim s <> "" -> Waived s
+    | _ ->
+      Malformed
+        ( a.attr_loc,
+          "[@psnap.local_state] must carry a reason string explaining why \
+           this state is process-local" ))
+
+(** R3 waiver: [[@psnap.helping]] (no payload needed) or
+    [[@psnap.bounded "reason"]] (reason mandatory). *)
+let loop_bound attrs =
+  match find_attr "psnap.helping" attrs with
+  | Some _ -> Waived "helping"
+  | None -> (
+    match find_attr "psnap.bounded" attrs with
+    | None -> Not_waived
+    | Some a -> (
+      match string_payload a with
+      | Some s when String.trim s <> "" -> Waived s
+      | _ ->
+        Malformed
+          ( a.attr_loc,
+            "[@psnap.bounded] must carry a reason string stating the \
+             iteration bound" )))

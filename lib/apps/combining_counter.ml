@@ -12,7 +12,15 @@
 module Make (S : Psnap.Snapshot.S) = struct
   type t = { snap : int S.t; n : int; counters : int }
 
-  type handle = { t : t; pid : int; h : int S.handle; mutable local : int array }
+  type handle = {
+    t : t;
+    pid : int;
+    h : int S.handle;
+    mutable local : int array;
+        [@psnap.local_state
+          "per-process running contributions; single-writer scratch, only \
+           ever published through S.update"]
+  }
 
   let create ~n ~counters () =
     { snap = S.create ~n (Array.make (n * counters) 0); n; counters }
@@ -51,7 +59,10 @@ module Make (S : Psnap.Snapshot.S) = struct
     List.mapi
       (fun k counter ->
         let base = k * hd.t.n in
-        let sum = ref 0 in
+        let[@psnap.local_state
+             "summation scratch over the already-atomic scan result"] sum =
+          ref 0
+        in
         for q = 0 to hd.t.n - 1 do
           sum := !sum + vals.(base + q)
         done;

@@ -12,6 +12,9 @@ module Make (S : Psnap.Snapshot.S) = struct
   type ('k, 'v) t = {
     snap : 'v S.t;
     index : ('k, int) Hashtbl.t;
+        [@psnap.local_state
+          "key-to-component map, populated once in create and read-only \
+           afterwards; key lookup is not a shared-memory step"]
     keys : 'k array;
   }
 
@@ -22,7 +25,10 @@ module Make (S : Psnap.Snapshot.S) = struct
   let create ~n bindings =
     let keys = Array.of_list (List.map fst bindings) in
     let init = Array.of_list (List.map snd bindings) in
-    let index = Hashtbl.create (Array.length keys) in
+    let[@psnap.local_state
+         "built privately during create, before the store is shared"] index =
+      Hashtbl.create (Array.length keys)
+    in
     Array.iteri
       (fun i k ->
         if Hashtbl.mem index k then invalid_arg "Kv.create: duplicate key";

@@ -7,7 +7,12 @@
    atomically when the scheduler resumes the fiber.  Since the simulator is
    cooperative, nothing can interleave between resumption and the access. *)
 
-type 'a ref_ = { mutable v : 'a; oid : int; name : string }
+type 'a ref_ = {
+  mutable v : 'a;
+  oid : int;
+  name : string;
+  born : int;  (** serial of the run that allocated the cell; -1 outside *)
+}
 
 (* Base objects allocated since the last reset — the space measure of the
    paper's concluding remarks ("the number of registers used ... is bounded
@@ -19,19 +24,74 @@ let allocations () = !allocated
 
 let reset_allocations () = allocated := 0
 
+(* Strict mode: the dynamic face of the no-escape discipline (docs/MODEL.md,
+   "Memory discipline").  Every access must happen at a scheduling point of
+   the *current* run: an access outside any run, or to a cell born in an
+   earlier run, is a simulator escape — state flowing around the
+   step-counting machinery — and raises [Escape].  Cells allocated outside
+   any run ([born = -1], e.g. built in test setup before [Sim.run]) are
+   legitimate in every run. *)
+
+exception Escape of string
+
+let strict = ref false
+
+let strict_checks = ref 0
+
+let strict_escapes = ref 0
+
+let set_strict b = strict := b
+
+let strict_mode () = !strict
+
+let sanitizer_counts () = (!strict_checks, !strict_escapes)
+
+let reset_sanitizer () =
+  strict_checks := 0;
+  strict_escapes := 0
+
+let guard r op =
+  if !strict then begin
+    incr strict_checks;
+    let fail fmt =
+      incr strict_escapes;
+      Printf.ksprintf (fun s -> raise (Escape s)) fmt
+    in
+    match Sim.current_serial () with
+    | None ->
+      fail
+        "%s of cell %s (oid %d) outside any Sim.run: the access takes no \
+         simulator step, so it is invisible to the step counts"
+        op r.name r.oid
+    | Some serial ->
+      if r.born >= 0 && r.born <> serial then
+        fail
+          "%s of cell %s (oid %d) born in run #%d from run #%d: cells \
+           created inside a run must not leak into another"
+          op r.name r.oid r.born serial
+  end
+
 let make ?(name = "r") v =
   incr allocated;
-  { v; oid = Sim.fresh_oid (); name }
+  {
+    v;
+    oid = Sim.fresh_oid ();
+    name;
+    born = (match Sim.current_serial () with Some s -> s | None -> -1);
+  }
 
 let read r =
+  guard r "read";
   Sim.step { oid = r.oid; obj_name = r.name; op = Event.Read };
   r.v
 
 let write r v =
+  guard r "write";
   Sim.step { oid = r.oid; obj_name = r.name; op = Event.Write };
   r.v <- v
 
 let cas r ~expected ~desired =
+  guard r "cas";
   Sim.step { oid = r.oid; obj_name = r.name; op = Event.Cas };
   if r.v == expected then (
     r.v <- desired;
@@ -39,6 +99,7 @@ let cas r ~expected ~desired =
   else false
 
 let fetch_and_add r k =
+  guard r "fetch_and_add";
   Sim.step { oid = r.oid; obj_name = r.name; op = Event.Faa };
   let old = r.v in
   r.v <- old + k;

@@ -80,3 +80,21 @@ let max_point_contention ?(over = fun (_ : sample) -> true) all =
   List.fold_left
     (fun acc s -> if over s then max acc (point_contention all s) else acc)
     0 all
+
+(** {2 Escape sanitizer} *)
+
+type sanitizer = {
+  strict : bool;  (** strict mode currently enabled *)
+  checked : int;  (** accesses guarded since the last reset *)
+  escaped : int;  (** accesses that raised {!Mem_sim.Escape} *)
+}
+
+let sanitizer () =
+  let checked, escaped = Mem_sim.sanitizer_counts () in
+  { strict = Mem_sim.strict_mode (); checked; escaped }
+
+let reset_sanitizer = Mem_sim.reset_sanitizer
+
+let pp_sanitizer ppf s =
+  Format.fprintf ppf "sanitizer: strict=%b checked=%d escaped=%d" s.strict
+    s.checked s.escaped

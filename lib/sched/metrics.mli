@@ -49,3 +49,21 @@ val point_contention : sample list -> sample -> int
 val max_interval_contention : ?over:(sample -> bool) -> sample list -> int
 
 val max_point_contention : ?over:(sample -> bool) -> sample list -> int
+
+(** {2 Escape sanitizer}
+
+    The dynamic face of the no-escape discipline (docs/MODEL.md, "Memory
+    discipline"): with {!Mem_sim.set_strict}[ true], every simulated access
+    is checked to happen at a scheduling point of the current run. *)
+
+type sanitizer = {
+  strict : bool;  (** strict mode currently enabled *)
+  checked : int;  (** accesses guarded since the last reset *)
+  escaped : int;  (** accesses that raised {!Mem_sim.Escape} *)
+}
+
+val sanitizer : unit -> sanitizer
+
+val reset_sanitizer : unit -> unit
+
+val pp_sanitizer : Format.formatter -> sanitizer -> unit

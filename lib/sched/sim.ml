@@ -29,6 +29,7 @@ type pstate =
 type proc = { pid : int; mutable state : pstate; mutable steps : int }
 
 type t = {
+  serial : int;  (** globally unique id of this run, for the sanitizer *)
   procs : proc array;
   mutable clock : int;  (** shared-memory steps executed so far *)
   mutable stamp : int;  (** strictly increasing event counter; bumped by
@@ -56,6 +57,13 @@ type result = {
 (* The simulator is single-threaded (all fibers run on the calling domain),
    so a global current-instance reference is safe. *)
 let current : t option ref = ref None
+
+(* Never reused across runs, so a cell stamped with a run's serial can be
+   recognized as stale by any later run (Mem_sim's strict mode). *)
+let serial_counter = ref 0
+
+let current_serial () =
+  match !current with Some t -> Some t.serial | None -> None
 
 let get_current fn =
   match !current with
@@ -114,8 +122,10 @@ let run ?(record_trace = false) ?(max_steps = 50_000_000) ~sched procs =
   (match !current with
   | Some _ -> failwith "Sim.run: nested simulations are not supported"
   | None -> ());
+  incr serial_counter;
   let t =
     {
+      serial = !serial_counter;
       procs = Array.mapi (fun pid _ -> { pid; state = Finished; steps = 0 }) procs;
       clock = 0;
       stamp = 0;

@@ -71,3 +71,8 @@ val step : step_info -> unit
 
 (** Fresh object id for traces ([0] outside a simulation). *)
 val fresh_oid : unit -> int
+
+(** Globally unique id of the currently executing run, or [None] outside
+    any run.  Serials are never reused, so {!Mem_sim}'s strict mode can
+    tell a cell born in an earlier run from one of the current run. *)
+val current_serial : unit -> int option

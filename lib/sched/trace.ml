@@ -2,39 +2,45 @@
     Used by scheduler tests and for debugging: who took which steps, on
     which objects, and how bursty the interleaving was. *)
 
+module Int_map = Map.Make (Int)
+
+module Obj_map = Map.Make (struct
+  type t = int * string
+
+  let compare = compare
+end)
+
 let steps (trace : Event.t list) =
   List.filter_map
     (function Event.Step _ as e -> Some e | Event.Crash _ -> None)
     trace
 
-(** Executed steps per process id, ascending pid order. *)
+let bump key m = Int_map.update key (fun n -> Some (1 + Option.value ~default:0 n)) m
+
 let steps_by_pid trace =
-  let tbl = Hashtbl.create 8 in
-  List.iter
-    (function
-      | Event.Step { pid; _ } ->
-        Hashtbl.replace tbl pid (1 + Option.value ~default:0 (Hashtbl.find_opt tbl pid))
-      | Event.Crash _ -> ())
-    trace;
-  Hashtbl.fold (fun pid n acc -> (pid, n) :: acc) tbl []
-  |> List.sort compare
+  List.fold_left
+    (fun m -> function
+      | Event.Step { pid; _ } -> bump pid m
+      | Event.Crash _ -> m)
+    Int_map.empty trace
+  |> Int_map.bindings
 
-(** Accesses per shared object, by (object id, name), descending count. *)
 let steps_by_object trace =
-  let tbl = Hashtbl.create 16 in
-  List.iter
-    (function
+  List.fold_left
+    (fun m -> function
       | Event.Step { oid; obj_name; _ } ->
-        let key = (oid, obj_name) in
-        Hashtbl.replace tbl key
-          (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
-      | Event.Crash _ -> ())
-    trace;
-  Hashtbl.fold (fun (oid, name) n acc -> (oid, name, n) :: acc) tbl []
-  |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+        Obj_map.update (oid, obj_name)
+          (fun n -> Some (1 + Option.value ~default:0 n))
+          m
+      | Event.Crash _ -> m)
+    Obj_map.empty trace
+  |> Obj_map.bindings
+  |> List.map (fun ((oid, name), n) -> (oid, name, n))
+  |> List.sort (fun (oid1, n1, a) (oid2, n2, b) ->
+         (* hottest first; ties broken by (oid, name) so the order is a
+            function of the trace alone *)
+         match compare b a with 0 -> compare (oid1, n1) (oid2, n2) | c -> c)
 
-(** Number of points where the running process changes — 0 for a solo run,
-    [steps - 1] for perfect alternation.  A scheduler-character metric. *)
 let context_switches trace =
   let rec go last n = function
     | [] -> n
@@ -49,5 +55,4 @@ let crashes trace =
     (function Event.Crash { pid; _ } -> Some pid | Event.Step _ -> None)
     trace
 
-(** One line per event. *)
 let pp ppf trace = List.iter (Fmt.pf ppf "%a@." Event.pp) trace

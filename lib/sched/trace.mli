@@ -1,0 +1,27 @@
+(** Post-mortem analysis of recorded executions ([Sim.run ~record_trace]).
+    Used by scheduler tests and for debugging: who took which steps, on
+    which objects, and how bursty the interleaving was.
+
+    All summaries are deterministic functions of the trace: each is one
+    fold over the event list into an ordered map, with fully specified
+    result order, so two identical traces always summarize identically. *)
+
+(** The step events of a trace, in execution order. *)
+val steps : Event.t list -> Event.t list
+
+(** Executed steps per process id, ascending pid. *)
+val steps_by_pid : Event.t list -> (int * int) list
+
+(** Accesses per shared object as [(oid, name, count)], hottest object
+    first; ties broken by ascending [(oid, name)]. *)
+val steps_by_object : Event.t list -> (int * string * int) list
+
+(** Number of points where the running process changes — 0 for a solo run,
+    [steps - 1] for perfect alternation.  A scheduler-character metric. *)
+val context_switches : Event.t list -> int
+
+(** Pids of crash events, in execution order. *)
+val crashes : Event.t list -> int list
+
+(** One line per event. *)
+val pp : Format.formatter -> Event.t list -> unit

@@ -17,7 +17,13 @@ module Make (M : Psnap_mem.Mem_intf.S) : Snapshot_intf.S = struct
     t : 'a t;
     pid : int;
     mutable seq : int;
+        [@psnap.local_state
+          "per-process write sequence number; single-writer, only ever \
+           published inside the tag written to this process's register"]
     mutable last_collects : int;
+        [@psnap.local_state
+          "diagnostics: records how many collects the last scan took; read \
+           back only by the owning process"]
   }
 
   let name = "afek-full"

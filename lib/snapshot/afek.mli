@@ -1,0 +1,11 @@
+(** The classic wait-free multi-writer snapshot of Afek et al. [1], which
+    the paper uses both as its starting point (Section 3) and as the
+    baseline a partial snapshot must beat: here {e every} scan — and the
+    embedded scan of {e every} update — reads all [m] components, so the
+    cost of a partial scan of [r] components still grows with [m].
+
+    [scan idxs] performs a full embedded scan and projects the requested
+    components; this is exactly the "trivial" partial snapshot
+    implementation discussed in the introduction of the paper. *)
+
+module Make (M : Psnap_mem.Mem_intf.S) : Snapshot_intf.S

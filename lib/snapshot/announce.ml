@@ -20,7 +20,10 @@ module Make (M : Psnap_mem.Mem_intf.S) = struct
     let sets = List.map (fun p -> M.read t.regs.(p)) scanners in
     let all = Array.concat sets in
     Array.sort compare all;
-    let out = ref [] in
+    let[@psnap.local_state
+         "dedup accumulator for the local merge of already-read sets"] out =
+      ref []
+    in
     Array.iter
       (fun i -> match !out with j :: _ when j = i -> () | _ -> out := i :: !out)
       all;

@@ -55,7 +55,9 @@ module Make (M : Psnap_mem.Mem_intf.S) (V : View_repr.S) = struct
   let extract result idxs =
     match result with
     | Fresh (sorted, vals) ->
-      let find i =
+      let[@psnap.local_state
+           "binary search over the already-read (immutable) result arrays; \
+            purely local scratch"] find i =
         let lo = ref 0 and hi = ref (Array.length sorted - 1) in
         let res = ref None in
         while !lo <= !hi do
@@ -98,7 +100,10 @@ module Make (M : Psnap_mem.Mem_intf.S) (V : View_repr.S) = struct
     else
       let exception Borrow of a V.t * int in
       try
-        let collects = ref 0 in
+        let[@psnap.local_state
+             "scan-private collect counter, reported in the stats record"] collects =
+          ref 0
+        in
         let do_collect () =
           let cur = collect regs idxs in
           incr collects;
@@ -110,7 +115,10 @@ module Make (M : Psnap_mem.Mem_intf.S) (V : View_repr.S) = struct
             cur;
           cur
         in
-        let rec go prev =
+        let[@psnap.bounded
+             "terminates by condition (1) or (2): within 2·Cu+1 collects for \
+              scan_per_process (Theorem 1), 2r+1 for scan_per_location \
+              (Theorem 3)"] rec go prev =
           let cur = do_collect () in
           if same_collect prev cur then
             ( Fresh (Array.copy idxs, Array.map (fun c -> c.v) cur),
@@ -136,8 +144,15 @@ module Make (M : Psnap_mem.Mem_intf.S) (V : View_repr.S) = struct
       (the one "with the highest counter") is safe to borrow. *)
   let scan_per_process (type a) (regs : a cell M.ref_ array) idxs :
       a result * stats =
-    let baseline = Array.make (Array.length idxs) None in
-    let fresh : (int, (int * a V.t) list) Hashtbl.t = Hashtbl.create 16 in
+    let[@psnap.local_state
+         "scan-private memory of the last tag seen per location"] baseline =
+      Array.make (Array.length idxs) None
+    in
+    let[@psnap.local_state
+         "scan-private table of observed changes per updating process"] fresh
+        : (int, (int * a V.t) list) Hashtbl.t =
+      Hashtbl.create 16
+    in
     let note k (c : a cell) =
       match baseline.(k) with
       | Some t when Tag.equal t c.tag -> None
@@ -163,7 +178,10 @@ module Make (M : Psnap_mem.Mem_intf.S) (V : View_repr.S) = struct
       borrow the view of the third value seen there. *)
   let scan_per_location (type a) (regs : a cell M.ref_ array) idxs :
       a result * stats =
-    let seen = Array.make (Array.length idxs) [] in
+    let[@psnap.local_state
+         "scan-private list of distinct tags seen per location"] seen =
+      Array.make (Array.length idxs) []
+    in
     let note k (c : a cell) =
       let l = seen.(k) in
       if List.exists (fun t -> Tag.equal t c.tag) l then None

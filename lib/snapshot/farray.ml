@@ -70,7 +70,11 @@ module Make (M : Psnap_mem.Mem_intf.S) = struct
   let update t i v =
     if i < 0 || i >= t.m then invalid_arg "Farray.update: index";
     M.write t.leaves.(i) v;
-    let node = ref ((i + t.width) / 2) in
+    let[@psnap.local_state
+         "loop index over the leaf-to-root path; the path has height \
+          ceil(log2 m)"] node =
+      ref ((i + t.width) / 2)
+    in
     while !node >= 1 do
       refresh t !node;
       refresh t !node;

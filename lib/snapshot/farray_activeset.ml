@@ -13,7 +13,14 @@ struct
 
   type t = (int option, int list) F.t
 
-  type handle = { t : t; pid : int; mutable joined : bool }
+  type handle = {
+    t : t;
+    pid : int;
+    mutable joined : bool;
+        [@psnap.local_state
+          "single-owner handle flag guarding join/leave alternation; never \
+           read by another process"]
+  }
 
   let name = "farray-aset"
 

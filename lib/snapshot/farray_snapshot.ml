@@ -13,7 +13,13 @@ module Make (M : Psnap_mem.Mem_intf.S) : Snapshot_intf.S = struct
 
   type 'a t = ('a, 'a array) F.t
 
-  type 'a handle = { t : 'a t; mutable last_collects : int }
+  type 'a handle = {
+    t : 'a t;
+    mutable last_collects : int;
+        [@psnap.local_state
+          "diagnostics: records the cost of the last scan; read back only \
+           by the owning process"]
+  }
 
   let name = "farray"
 

@@ -34,7 +34,9 @@ module Make (M : Psnap_mem.Mem_intf.S) = struct
   (** [participate t ~pid v] — returns the view as (pid, value) pairs
       sorted by pid.  At most one call per process. *)
   let participate t ~pid v =
-    let rec descend level =
+    let[@psnap.bounded
+         "level strictly decreases from n; at most n iterations"] rec descend
+        level =
       if level < 1 then invalid_arg "Immediate.participate: too many processes"
       else begin
         M.write t.cells.(pid) (Some { value = v; level });

@@ -36,7 +36,13 @@ module Make_repr
     pid : int;
     a : A.handle;
     mutable seq : int;
+        [@psnap.local_state
+          "per-process write sequence number; single-writer, only ever \
+           published inside the tag installed by this process's CAS"]
     mutable last_collects : int;
+        [@psnap.local_state
+          "diagnostics: records how many collects the last scan took; read \
+           back only by the owning process"]
   }
 
   let name = "fig3-cas(" ^ A.name ^ ")"

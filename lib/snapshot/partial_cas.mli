@@ -1,0 +1,27 @@
+(** Figure 3: the partial snapshot with {e local} scans, from compare&swap
+    and fetch&increment (Section 4.2) — the paper's main algorithm.
+
+    Updates install values with compare&swap, which validates the stronger
+    per-location borrowing rule: a scan of [r] components finishes within
+    [2r + 1] collects — [O(r²)] steps worst case, independent of [m], [n]
+    and all contention (Theorem 3).
+
+    The functor takes the active set as a parameter so that ablations can
+    swap it (the faithful instantiation is [Fai_cas]). *)
+
+(** Generic over the view representation {!View_repr.S}. *)
+module Make_repr
+    (M : Psnap_mem.Mem_intf.S)
+    (A : Psnap_activeset.Activeset_intf.S)
+    (V : View_repr.S) : Snapshot_intf.S
+
+(** Views stored wholesale in the CAS cells (large objects). *)
+module Make (M : Psnap_mem.Mem_intf.S) (A : Psnap_activeset.Activeset_intf.S) :
+  Snapshot_intf.S
+
+(** Small-registers variant of the remark after Theorem 3: views live in
+    per-pair registers behind a pointer, adding [O(Cs·rmax)] steps per
+    update and [O(r·log(Cs·rmax))] per scan. *)
+module Make_small
+    (M : Psnap_mem.Mem_intf.S)
+    (A : Psnap_activeset.Activeset_intf.S) : Snapshot_intf.S

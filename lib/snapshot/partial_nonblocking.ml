@@ -26,8 +26,17 @@ module Make (M : Psnap_mem.Mem_intf.S) = struct
     t : 'a t;
     pid : int;
     mutable seq : int;
+        [@psnap.local_state
+          "per-process write sequence number; single-writer, only ever \
+           published inside the tag written to this process's register"]
     mutable last_collects : int;
+        [@psnap.local_state
+          "diagnostics: records how many collects the last scan took; read \
+           back only by the owning process"]
     mutable max_collects : int;
+        [@psnap.local_state
+          "per-process starvation cutoff for the non-termination tests; \
+           never read by another process"]
   }
 
   let name = "nonblocking"
@@ -60,13 +69,18 @@ module Make (M : Psnap_mem.Mem_intf.S) = struct
   let scan h idxs =
     let sorted = Array.of_list (List.sort_uniq compare (Array.to_list idxs)) in
     let collect () = Array.map (fun i -> M.read h.t.regs.(i)) sorted in
-    let rec go prev n =
+    let[@psnap.bounded
+         "deliberately only non-blocking — the Section 3 baseline without \
+          helping; gives up with Starved after max_collects collects"] rec go
+        prev n =
       if n > h.max_collects then raise Starved;
       let cur = collect () in
       if same prev cur then begin
         h.last_collects <- n;
         let find i =
-          let rec search k =
+          let[@psnap.bounded
+               "linear walk over the already-read collect; at most r \
+                iterations, no shared accesses"] rec search k =
             if sorted.(k) = i then cur.(k).v else search (k + 1)
           in
           search 0

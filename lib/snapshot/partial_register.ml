@@ -29,7 +29,13 @@ module Make_repr
     pid : int;
     a : A.handle;
     mutable seq : int;
+        [@psnap.local_state
+          "per-process write sequence number; single-writer, only ever \
+           published inside the tag written to this process's register"]
     mutable last_collects : int;
+        [@psnap.local_state
+          "diagnostics: records how many collects the last scan took; read \
+           back only by the owning process"]
   }
 
   let name = "fig1-reg(" ^ A.name ^ ")"

@@ -30,7 +30,14 @@ module Make (M : Psnap_mem.Mem_intf.S) = struct
     scanner : int;  (** the only process allowed to scan *)
   }
 
-  type 'a handle = { t : 'a t; pid : int; mutable cur_seq : int }
+  type 'a handle = {
+    t : 'a t;
+    pid : int;
+    mutable cur_seq : int;
+        [@psnap.local_state
+          "the scanner's private sequence counter; published only via the \
+           write to the shared Seq register"]
+  }
 
   let name = "single-scanner"
 

@@ -23,7 +23,9 @@ let of_pairs l =
     idxs;
   { idxs; vals }
 
-let find v i =
+let[@psnap.local_state
+     "binary search over the view's immutable arrays; purely local scratch"] find
+    v i =
   let lo = ref 0 and hi = ref (Array.length v.idxs - 1) in
   let res = ref None in
   while !lo <= !hi do

@@ -59,7 +59,10 @@ module Indirect (M : Psnap_mem.Mem_intf.S) : S = struct
         r)
       idxs vals
 
-  let find_exn t i =
+  let[@psnap.local_state
+       "binary-search bookkeeping only: the M.read per probe is the O(log r) \
+        lookup cost the remark after Theorem 3 charges; lo/hi/res are local \
+        scratch"] find_exn t i =
     let lo = ref 0 and hi = ref (Array.length t - 1) in
     let res = ref None in
     while !lo <= !hi do

@@ -1,0 +1,285 @@
+(* Tests of psnap-lint, the memory-discipline static analyzer
+   (lib/analysis): rule firings on known-bad fixtures, waiver handling, and
+   a self-check that the shipped algorithm libraries lint clean. *)
+
+module Lint = Psnap_analysis.Lint
+module Diagnostic = Psnap_analysis.Diagnostic
+
+let lint source =
+  Lint.lint_source ~ruleset:Lint.Algorithm ~file:"fixture.ml" source
+
+let ids diags = List.map Diagnostic.rule_id (List.map (fun d -> d.Diagnostic.rule) diags)
+
+let check_ids = Alcotest.(check (list string))
+
+let check_int = Alcotest.(check int)
+
+(* ---- R1: no-escape ---- *)
+
+let test_ref_escape () =
+  let diags =
+    lint {|
+let counter = ref 0
+
+let bump () = counter := !counter + 1
+|}
+  in
+  check_ids "ref, :=, ! all fire" [ "R1"; "R1"; "R1" ] (ids diags);
+  (* file:line diagnostics point at the offending expressions *)
+  match diags with
+  | first :: _ ->
+    Alcotest.(check string) "file recorded" "fixture.ml" first.Diagnostic.file;
+    check_int "ref allocation on line 2" 2 first.Diagnostic.line
+  | [] -> Alcotest.fail "expected diagnostics"
+
+let test_mutable_field_escape () =
+  let diags = lint {|
+type t = { mutable count : int }
+
+let touch t = t.count <- t.count + 1
+|} in
+  check_ids "field decl and assignment fire" [ "R1"; "R1" ] (ids diags)
+
+let test_array_and_hashtbl_escape () =
+  let diags =
+    lint
+      {|
+let tbl = Hashtbl.create 8
+
+let f a = a.(0) <- 1
+
+let g k = Hashtbl.add tbl k ()
+|}
+  in
+  check_int "three escapes" 3 (List.length diags);
+  check_ids "all R1" [ "R1"; "R1"; "R1" ] (ids diags)
+
+let test_atomic_escape () =
+  let diags = lint {|
+let f c = Atomic.incr c
+|} in
+  check_ids "direct Atomic flagged" [ "R1" ] (ids diags)
+
+let test_waived_local_state_clean () =
+  let diags =
+    lint
+      {|
+let scan () =
+  let[@psnap.local_state "scan-private accumulator"] acc = ref [] in
+  acc := 1 :: !acc;
+  !acc
+|}
+  in
+  check_ids "waived binding and its uses are clean" [] (ids diags)
+
+let test_waived_field_clean () =
+  let diags =
+    lint
+      {|
+type h = {
+  mutable seq : int; [@psnap.local_state "single-writer counter"]
+}
+
+let bump h = h.seq <- h.seq + 1
+|}
+  in
+  check_ids "waived field and assignment are clean" [] (ids diags)
+
+let test_waiver_needs_reason () =
+  let diags = lint {|
+let f () =
+  let[@psnap.local_state] acc = ref [] in
+  ignore acc
+|} in
+  check_ids "reason-less waiver is W0" [ "W0" ] (ids diags)
+
+(* ---- R2: cas-discipline ---- *)
+
+let test_cas_without_read () =
+  let diags =
+    lint
+      {|
+let sneak (m : int M.ref_) = M.cas m ~expected:0 ~desired:1
+|}
+  in
+  check_ids "expected not derived from a read" [ "R2" ] (ids diags)
+
+let test_cas_with_prior_read_clean () =
+  let diags =
+    lint
+      {|
+let install m v =
+  let old = M.read m in
+  M.cas m ~expected:old ~desired:v
+|}
+  in
+  check_ids "read-derived expected is clean" [] (ids diags)
+
+(* ---- R3: loop-bound ---- *)
+
+let test_unbounded_retry_loop () =
+  let diags =
+    lint
+      {|
+let spin r =
+  let rec go () = if M.read r = 0 then go () else () in
+  go ()
+|}
+  in
+  check_ids "unannotated retry loop" [ "R3" ] (ids diags)
+
+let test_while_true () =
+  let diags = lint {|
+let spin r =
+  while true do
+    ignore (M.read r)
+  done
+|} in
+  check_ids "while true flagged" [ "R3" ] (ids diags)
+
+let test_annotated_loop_clean () =
+  let diags =
+    lint
+      {|
+let scan r =
+  let[@psnap.bounded "terminates within 2r+1 collects"] rec go prev =
+    let cur = M.read r in
+    if cur = prev then cur else go cur
+  in
+  go (M.read r)
+|}
+  in
+  check_ids "bounded annotation accepted" [] (ids diags)
+
+let test_pure_recursion_not_flagged () =
+  let diags =
+    lint
+      {|
+let rec merge a b =
+  match (a, b) with
+  | [], rest | rest, [] -> rest
+  | x :: xs, y :: ys -> if x < y then x :: merge xs b else y :: merge a ys
+|}
+  in
+  check_ids "structural recursion is clean" [] (ids diags)
+
+(* ---- injection: a planted escape in a real source must be caught ---- *)
+
+let rec find_repo_root dir =
+  if Sys.file_exists (Filename.concat dir "lib/snapshot") then dir
+  else
+    let parent = Filename.dirname dir in
+    if parent = dir then failwith "repo root not found"
+    else find_repo_root parent
+
+(* Run from _build/default/test, where dune mirrors the source tree. *)
+let repo_root = lazy (find_repo_root (Sys.getcwd ()))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_injected_escape_caught () =
+  let path =
+    Filename.concat (Lazy.force repo_root) "lib/snapshot/partial_cas.ml"
+  in
+  let clean = read_file path in
+  Alcotest.(check (list string))
+    "shipped source is clean" []
+    (ids (Lint.lint_source ~ruleset:Lint.Algorithm ~file:path clean));
+  let planted = clean ^ "\nlet leak = ref 0\n\nlet () = leak := 1\n" in
+  let diags = Lint.lint_source ~ruleset:Lint.Algorithm ~file:path planted in
+  check_ids "planted ref escape fires" [ "R1"; "R1" ] (ids diags);
+  match diags with
+  | d :: _ ->
+    Alcotest.(check string) "diagnostic names the file" path d.Diagnostic.file;
+    Alcotest.(check bool) "diagnostic has a line" true (d.Diagnostic.line > 0)
+  | [] -> Alcotest.fail "expected diagnostics"
+
+let test_injected_casless_read_caught () =
+  let path =
+    Filename.concat (Lazy.force repo_root) "lib/snapshot/partial_cas.ml"
+  in
+  let clean = read_file path in
+  let planted =
+    clean
+    ^ {|
+module Sneak (M : Psnap_mem.Mem_intf.S) = struct
+  let blind_install (r : int M.ref_) = M.cas r ~expected:0 ~desired:1
+end
+|}
+  in
+  let diags = Lint.lint_source ~ruleset:Lint.Algorithm ~file:path planted in
+  check_ids "read-less CAS fires" [ "R2" ] (ids diags)
+
+(* ---- self-check: the shipped tree lints clean ---- *)
+
+let test_shipped_tree_clean () =
+  let root = Lazy.force repo_root in
+  let files, diags = Lint.lint_paths [ Filename.concat root "lib" ] in
+  Alcotest.(check bool)
+    "algorithm files were checked" true
+    (List.length files >= 20);
+  Alcotest.(check (list string))
+    "no violations in the shipped tree" []
+    (List.map (Format.asprintf "%a" Diagnostic.pp) diags)
+
+(* ---- infrastructure code is exempt ---- *)
+
+let test_exempt_paths () =
+  Alcotest.(check bool)
+    "lib/mem is exempt" true
+    (Lint.ruleset_for_path "lib/mem/mem_sim.ml" = Lint.Exempt);
+  Alcotest.(check bool)
+    "lib/snapshot is checked" true
+    (Lint.ruleset_for_path "lib/snapshot/collect.ml" = Lint.Algorithm);
+  check_ids "exempt file produces nothing" []
+    (ids
+       (Lint.lint_source ~file:"lib/mem/whatever.ml" "let evil = ref 0"))
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "no-escape",
+        [
+          Alcotest.test_case "ref escape" `Quick test_ref_escape;
+          Alcotest.test_case "mutable field" `Quick test_mutable_field_escape;
+          Alcotest.test_case "array and hashtbl" `Quick
+            test_array_and_hashtbl_escape;
+          Alcotest.test_case "atomic" `Quick test_atomic_escape;
+          Alcotest.test_case "waived binding" `Quick
+            test_waived_local_state_clean;
+          Alcotest.test_case "waived field" `Quick test_waived_field_clean;
+          Alcotest.test_case "waiver needs reason" `Quick
+            test_waiver_needs_reason;
+        ] );
+      ( "cas-discipline",
+        [
+          Alcotest.test_case "cas without read" `Quick test_cas_without_read;
+          Alcotest.test_case "cas after read" `Quick
+            test_cas_with_prior_read_clean;
+        ] );
+      ( "loop-bound",
+        [
+          Alcotest.test_case "unbounded retry" `Quick test_unbounded_retry_loop;
+          Alcotest.test_case "while true" `Quick test_while_true;
+          Alcotest.test_case "annotated loop" `Quick test_annotated_loop_clean;
+          Alcotest.test_case "pure recursion" `Quick
+            test_pure_recursion_not_flagged;
+        ] );
+      ( "injection",
+        [
+          Alcotest.test_case "planted ref escape" `Quick
+            test_injected_escape_caught;
+          Alcotest.test_case "planted read-less cas" `Quick
+            test_injected_casless_read_caught;
+        ] );
+      ( "self-check",
+        [
+          Alcotest.test_case "shipped tree clean" `Quick
+            test_shipped_tree_clean;
+          Alcotest.test_case "exempt paths" `Quick test_exempt_paths;
+        ] );
+    ]

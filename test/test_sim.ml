@@ -4,6 +4,10 @@
 open Psnap
 module M = Mem.Sim
 
+(* The whole suite runs with the escape sanitizer on: every simulated access
+   must happen at a scheduling point of the current run. *)
+let () = M.set_strict true
+
 let check_int = Alcotest.(check int)
 
 let check_bool = Alcotest.(check bool)
@@ -299,6 +303,68 @@ let test_trace_records_crash () =
   Alcotest.(check (list int)) "crash in trace" [ 1 ]
     (Psnap_sched.Trace.crashes res.trace)
 
+(* ---- escape sanitizer (strict mode) ---- *)
+
+let test_escape_outside_run () =
+  (* A cell may be built outside a run, but accessing it outside any run is
+     an escape: the access takes no simulator step. *)
+  let r = M.make 0 in
+  match M.read r with
+  | _ -> Alcotest.fail "expected Escape"
+  | exception M.Escape _ -> ()
+
+let test_escape_cross_run () =
+  (* A cell born inside one run must not leak into a later run. *)
+  let leaked = ref None in
+  ignore
+    (Sim.run ~sched:(Scheduler.round_robin ())
+       [|
+         (fun () ->
+           let r = M.make 0 in
+           M.write r 1;
+           leaked := Some r);
+       |]);
+  let r = Option.get !leaked in
+  let escaped = ref false in
+  ignore
+    (Sim.run ~sched:(Scheduler.round_robin ())
+       [|
+         (fun () ->
+           match M.read r with
+           | _ -> ()
+           | exception M.Escape _ -> escaped := true);
+       |]);
+  check_bool "stale cell rejected" true !escaped
+
+let test_outside_born_cells_allowed () =
+  (* The common pattern: allocate in test setup, use inside several runs. *)
+  let r = M.make 0 in
+  ignore
+    (Sim.run ~sched:(Scheduler.round_robin ()) [| (fun () -> M.write r 1) |]);
+  ignore
+    (Sim.run ~sched:(Scheduler.round_robin ())
+       [| (fun () -> check_int "value persists" 1 (M.read r)) |])
+
+let test_sanitizer_metrics () =
+  Metrics.reset_sanitizer ();
+  let r = M.make 0 in
+  ignore
+    (Sim.run ~sched:(Scheduler.round_robin ())
+       [|
+         (fun () ->
+           ignore (M.read r);
+           M.write r 2);
+       |]);
+  let s = Metrics.sanitizer () in
+  check_bool "strict on" true s.Metrics.strict;
+  check_int "two accesses checked" 2 s.Metrics.checked;
+  check_int "no escapes" 0 s.Metrics.escaped;
+  (match M.read r with
+  | _ -> Alcotest.fail "expected Escape"
+  | exception M.Escape _ -> ());
+  let s = Metrics.sanitizer () in
+  check_int "escape counted" 1 s.Metrics.escaped
+
 (* ---- metrics ---- *)
 
 let test_metrics_steps () =
@@ -396,6 +462,15 @@ let () =
           Alcotest.test_case "solo switches" `Quick
             test_trace_context_switches_solo;
           Alcotest.test_case "crash recorded" `Quick test_trace_records_crash;
+        ] );
+      ( "sanitizer",
+        [
+          Alcotest.test_case "escape outside run" `Quick
+            test_escape_outside_run;
+          Alcotest.test_case "escape across runs" `Quick test_escape_cross_run;
+          Alcotest.test_case "outside-born cells allowed" `Quick
+            test_outside_born_cells_allowed;
+          Alcotest.test_case "sanitizer counters" `Quick test_sanitizer_metrics;
         ] );
       ( "metrics",
         [
