@@ -19,6 +19,20 @@ examples:
 	          aggregate_board readonly_transactions consensus; do \
 	  echo "== examples/$$e =="; dune exec examples/$$e.exe; echo; done
 
+# Fault-injection campaign (E14): seeded chaos / crash-storm nemeses over
+# Figures 1 and 3 with the observation checker on; each run writes a JSON
+# metrics summary (uploaded as a CI artifact).  Budgeted well under 60 s.
+chaos:
+	dune build bin/simulate.exe
+	dune exec bin/simulate.exe -- --impl fig1 --nemesis chaos --seeds 40 \
+	  --check --json chaos-fig1.json
+	dune exec bin/simulate.exe -- --impl fig3 --nemesis chaos --seeds 40 \
+	  --check --json chaos-fig3.json
+	dune exec bin/simulate.exe -- --impl fig3 --nemesis storm --seeds 40 \
+	  --check --json chaos-fig3-storm.json
+	dune exec bin/simulate.exe -- --impl fig3 --nemesis crash-restart \
+	  --seeds 10 --check --json chaos-fig3-cr.json
+
 # The artifacts referenced by EXPERIMENTS.md.
 pin-outputs:
 	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
@@ -27,4 +41,4 @@ pin-outputs:
 clean:
 	dune clean
 
-.PHONY: all test lint bench examples pin-outputs clean
+.PHONY: all test lint bench chaos examples pin-outputs clean

@@ -1,13 +1,20 @@
 (* Interactive workload driver: run any implementation under any scheduler
-   with exact step accounting and optional history validation, straight
-   from the command line.
+   with exact step accounting, crash–restart fault injection, history
+   validation, and counterexample shrinking, straight from the command line.
 
      dune exec bin/simulate.exe -- --impl fig3 -m 64 -r 8 \
          --updaters 4 --scanners 2 --sched starve --seeds 20 --check
 
-   Prints per-operation step statistics, contention measures, and (with
-   --check) runs the observation-based linearizability checker on every
-   execution. *)
+     # fault-injection campaign with minimization of any failure found:
+     dune exec bin/simulate.exe -- --nemesis chaos --seeds 50 --check \
+         --shrink --replay-file failing.sched
+
+     # replay a saved (possibly shrunk) schedule:
+     dune exec bin/simulate.exe -- --replay-file failing.sched --check
+
+   Prints per-operation step statistics, contention measures, fault counts,
+   and (with --check) runs the observation-based linearizability checker on
+   every execution.  --json writes a machine-readable campaign summary. *)
 
 open Psnap
 module Table = Psnap_harness.Table
@@ -39,8 +46,37 @@ let sched_of name ~scanner_pids ~seed =
       (String.concat ", " scheds);
     exit 2
 
-let run impl_name m r updaters updates scanners scans sched_name seeds check
-    crash_at =
+let nemeses = [ "none"; "chaos"; "storm"; "crash-restart" ]
+
+(* A nemesis wraps the base policy with fault injection; every random
+   choice derives from [seed], so the whole run replays. *)
+let nemesis_of name ~seed base =
+  match name with
+  | "none" -> base
+  | "chaos" -> Scheduler.chaos ~seed ~inner:base ()
+  | "storm" -> Scheduler.crash_storm ~seed base
+  | "crash-restart" ->
+    Scheduler.with_crash_restart ~pid:0 ~crash_at:40 ~restart_after:30 base
+  | s ->
+    Printf.eprintf "unknown nemesis %S (choose from: %s)\n" s
+      (String.concat ", " nemeses);
+    exit 2
+
+let write_json path fields =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          Printf.fprintf oc "  %S: %s%s\n" k v
+            (if i < List.length fields - 1 then "," else ""))
+        fields;
+      output_string oc "}\n")
+
+let run impl_name m r updaters updates scanners scans sched_name seed_base
+    seeds check crash_at nemesis_name shrink replay_file json_file =
   let (module S : Snapshot.S) =
     match List.assoc_opt impl_name impls with
     | Some m -> m
@@ -55,29 +91,40 @@ let run impl_name m r updaters updates scanners scans sched_name seeds check
   let n = updaters + scanners in
   let scanner_pids = List.init scanners (fun j -> updaters + j) in
   let init = Array.init m (fun i -> -(i + 1)) in
+  let faults = nemesis_name <> "none" in
+  let replaying = replay_file <> None && not shrink in
   let violations = ref 0 in
   let samples = ref [] in
   let worst_collects = ref 0 in
-  for seed = 0 to seeds - 1 do
+  let total_crashes = ref 0 in
+  let total_restarts = ref 0 in
+  let total_steps = ref 0 in
+  let failing_schedule = ref None in
+  (* One complete execution of the workload under [sched].  Fresh object,
+     fresh history; recovery (when [faults]) respawns a crashed pid on the
+     same body with a fresh handle — all local state is rebuilt — writing
+     incarnation-tagged values so every written value stays unique. *)
+  let run_once ~record_trace ~sched =
     let rec_ = Metrics.create () in
     let hist = History.create ~now:Sim.mark () in
     let t = S.create ~n (Array.copy init) in
-    let handles = Array.init n (fun pid -> S.handle t ~pid) in
-    let updater pid () =
+    let updater ~incarnation pid () =
+      let h = S.handle t ~pid in
       for k = 1 to updates do
         let i = (k + (pid * 7)) mod m in
-        let v = (pid * 1_000_000) + k in
+        let v = (pid * 1_000_000) + (incarnation * 10_000) + k in
         Metrics.measure rec_ ~pid ~kind:"update" (fun () ->
             if check then
               ignore
                 (History.record hist ~pid (Snapshot_spec.Update (i, v))
                    (fun () ->
-                     S.update handles.(pid) i v;
+                     S.update h i v;
                      Snapshot_spec.Ack))
-            else S.update handles.(pid) i v)
+            else S.update h i v)
       done
     in
     let scanner pid () =
+      let h = S.handle t ~pid in
       let idxs =
         Array.init r (fun k -> ((pid - updaters) + (k * (m / max r 1))) mod m)
         |> Array.to_list |> List.sort_uniq compare |> Array.of_list
@@ -87,29 +134,109 @@ let run impl_name m r updaters updates scanners scans sched_name seeds check
             if check then
               ignore
                 (History.record hist ~pid (Snapshot_spec.Scan idxs) (fun () ->
-                     Snapshot_spec.Vals (S.scan handles.(pid) idxs)))
-            else ignore (S.scan handles.(pid) idxs));
-        worst_collects :=
-          max !worst_collects (S.last_scan_collects handles.(pid))
+                     Snapshot_spec.Vals (S.scan h idxs)))
+            else ignore (S.scan h idxs));
+        worst_collects := max !worst_collects (S.last_scan_collects h)
       done
     in
-    let procs =
-      Array.init n (fun pid -> if pid < updaters then updater pid else scanner pid)
+    let body ~incarnation pid =
+      if pid < updaters then updater ~incarnation pid else scanner pid
     in
-    let sched =
-      let base = sched_of sched_name ~scanner_pids ~seed in
-      match crash_at with
-      | Some at_clock -> Scheduler.with_crash ~pid:0 ~at_clock base
-      | None -> base
+    let procs = Array.init n (fun pid -> body ~incarnation:1 pid) in
+    let recover =
+      if faults || replaying then
+        Some (fun ~pid ~incarnation -> body ~incarnation pid)
+      else None
     in
-    ignore (Sim.run ~sched procs);
-    samples := Metrics.samples rec_ :: !samples;
-    if check then
-      violations :=
-        !violations
-        + List.length
-            (Snapshot_spec.check_observations ~init (History.entries hist))
-  done;
+    let res = Sim.run ~record_trace ?recover ~sched procs in
+    let viols =
+      if check then
+        Snapshot_spec.check_observations ~init (History.entries hist)
+      else []
+    in
+    (res, viols, Metrics.samples rec_)
+  in
+  let fallback = Scheduler.round_robin () in
+  let replay_sched decisions =
+    Scheduler.replay_decisions ~lenient:true ~fallback decisions
+  in
+  (* Oracle for the shrinker: does this decision sequence still produce a
+     checker violation (or crash the harness)? *)
+  let fails decisions =
+    match run_once ~record_trace:false ~sched:(replay_sched decisions) with
+    | _, viols, _ -> viols <> []
+    | exception _ -> true
+  in
+  let account (res : Sim.result) viols smpls =
+    samples := smpls :: !samples;
+    total_crashes := !total_crashes + List.length res.crashed;
+    total_restarts :=
+      !total_restarts
+      + Array.fold_left (fun a i -> a + (i - 1)) 0 res.incarnations;
+    total_steps := !total_steps + res.clock;
+    violations := !violations + List.length viols
+  in
+  let runs =
+    match replay_file with
+    | Some path when replaying ->
+      let decisions = Shrink.load path in
+      Printf.printf "replaying %d decisions from %s\n" (List.length decisions)
+        path;
+      let res, viols, smpls = run_once ~record_trace:false ~sched:(replay_sched decisions) in
+      account res viols smpls;
+      List.iter
+        (fun v -> Fmt.pr "  %a@." Snapshot_spec.pp_violation v)
+        viols;
+      1
+    | _ ->
+      for s = 0 to seeds - 1 do
+        let seed = seed_base + s in
+        let base = sched_of sched_name ~scanner_pids ~seed in
+        let sched =
+          let w = nemesis_of nemesis_name ~seed base in
+          match crash_at with
+          | Some at_clock -> Scheduler.with_crash ~pid:0 ~at_clock w
+          | None -> w
+        in
+        let record_trace = shrink in
+        let res, viols, smpls = run_once ~record_trace ~sched in
+        account res viols smpls;
+        if viols <> [] && !failing_schedule = None then begin
+          Printf.printf "seed %d: %d violations\n" seed (List.length viols);
+          if shrink then
+            failing_schedule := Some (Trace.schedule res.trace)
+        end
+      done;
+      seeds
+  in
+  (* Minimize the first failing schedule and print/save it so CI logs are
+     actionable and the failure replays exactly. *)
+  let shrunk_len =
+    match !failing_schedule with
+    | None -> None
+    | Some schedule ->
+      if not (fails schedule) then begin
+        Printf.printf
+          "shrink: recorded schedule does not reproduce deterministically; \
+           skipping\n";
+        None
+      end
+      else begin
+        let minimal, calls = Shrink.minimize ~oracle:fails schedule in
+        Printf.printf
+          "shrink: %d decisions -> %d minimal (%d oracle runs)\n"
+          (List.length schedule) (List.length minimal) calls;
+        List.iter
+          (fun d -> print_endline (Scheduler.decision_to_string d))
+          minimal;
+        Option.iter
+          (fun path ->
+            Shrink.save path minimal;
+            Printf.printf "shrink: minimal schedule saved to %s\n" path)
+          replay_file;
+        Some (List.length minimal)
+      end
+  in
   let all = List.concat !samples in
   let of_kind k = List.filter (fun (s : Metrics.sample) -> s.kind = k) all in
   let row kind =
@@ -124,14 +251,18 @@ let run impl_name m r updaters updates scanners scans sched_name seeds check
   Table.print
     (Table.make
        ~title:
-         (Printf.sprintf "%s: m=%d r=%d %d updaters x %d, %d scanners x %d, %s, %d seeds%s"
-            S.name m r updaters updates scanners scans sched_name seeds
+         (Printf.sprintf "%s: m=%d r=%d %d updaters x %d, %d scanners x %d, %s, %d runs%s%s"
+            S.name m r updaters updates scanners scans sched_name runs
+            (if faults then ", nemesis " ^ nemesis_name else "")
             (match crash_at with
             | Some c -> Printf.sprintf ", crash p0@%d" c
             | None -> ""))
        ~header:[ "operation"; "count"; "mean steps"; "worst steps" ]
        [ row "update"; row "scan" ]);
   Printf.printf "worst collects per scan: %d\n" !worst_collects;
+  if faults || replaying then
+    Printf.printf "faults: %d crashes, %d restarts\n" !total_crashes
+      !total_restarts;
   let cu =
     List.fold_left
       (fun acc per_run ->
@@ -142,9 +273,27 @@ let run impl_name m r updaters updates scanners scans sched_name seeds check
       0 !samples
   in
   Printf.printf "max interval contention seen by a scan: %d\n" cu;
+  Option.iter
+    (fun path ->
+      write_json path
+        [
+          ("impl", Printf.sprintf "%S" S.name);
+          ("sched", Printf.sprintf "%S" sched_name);
+          ("nemesis", Printf.sprintf "%S" nemesis_name);
+          ("seed_base", string_of_int seed_base);
+          ("runs", string_of_int runs);
+          ("steps", string_of_int !total_steps);
+          ("crashes", string_of_int !total_crashes);
+          ("restarts", string_of_int !total_restarts);
+          ("violations", string_of_int !violations);
+          ( "shrunk_schedule_len",
+            match shrunk_len with Some l -> string_of_int l | None -> "null" );
+        ];
+      Printf.printf "json summary written to %s\n" path)
+    json_file;
   if check then
     if !violations = 0 then
-      Printf.printf "checker: all %d executions linearizable (observation check)\n" seeds
+      Printf.printf "checker: all %d executions linearizable (observation check)\n" runs
     else begin
       Printf.printf "checker: %d VIOLATIONS\n" !violations;
       exit 1
@@ -179,6 +328,12 @@ let sched =
     & info [ "sched" ]
         ~doc:(Printf.sprintf "Scheduler: %s." (String.concat ", " scheds)))
 
+let seed_base =
+  Arg.(
+    value & opt int 0
+    & info [ "seed" ] ~docv:"N"
+        ~doc:"Base seed; execution $(i,k) uses seed N+k.")
+
 let seeds = Arg.(value & opt int 10 & info [ "seeds" ] ~doc:"Seeded executions.")
 
 let check =
@@ -188,13 +343,52 @@ let crash_at =
   Arg.(
     value
     & opt (some int) None
-    & info [ "crash-at" ] ~docv:"CLOCK" ~doc:"Crash process 0 at this step.")
+    & info [ "crash-at" ] ~docv:"CLOCK"
+        ~doc:"Crash process 0 at this step (permanent halting failure).")
+
+let nemesis =
+  Arg.(
+    value & opt string "none"
+    & info [ "nemesis" ] ~docv:"NAME"
+        ~doc:
+          (Printf.sprintf
+             "Fault injector layered over the scheduler: %s.  Crashed \
+              processes restart on a recovery body that rebuilds local \
+              state from scratch."
+             (String.concat ", " nemeses)))
+
+let shrink =
+  Arg.(
+    value & flag
+    & info [ "shrink" ]
+        ~doc:
+          "On a checker violation, delta-debug the recorded schedule to a \
+           minimal failing decision list and print it (saved to \
+           $(b,--replay-file) if given).")
+
+let replay_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay-file" ] ~docv:"FILE"
+        ~doc:
+          "Without $(b,--shrink): replay the schedule stored in FILE \
+           instead of running seeded executions.  With $(b,--shrink): \
+           write the minimal failing schedule to FILE.")
+
+let json_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write a machine-readable campaign summary to FILE.")
 
 let cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"drive partial snapshot workloads in the simulator")
     Term.(
       const run $ impl $ m $ r $ updaters $ updates $ scanners $ scans $ sched
-      $ seeds $ check $ crash_at)
+      $ seed_base $ seeds $ check $ crash_at $ nemesis $ shrink $ replay_file
+      $ json_file)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,154 @@
+(** Detectable (exactly-once) updates over a partial snapshot object, for
+    the crash–restart fault model.
+
+    A process that crashes between invoking [update] and observing its
+    return cannot know whether the update took effect; the naive recovery —
+    re-invoke everything in the request log — can apply an update {e twice},
+    which is observable (a scan sees the overwritten value reappear) and
+    non-linearizable.  The classic remedy (detectable objects à la
+    Friedman et al., and the crash-prone registers of
+    Imbs–Mostéfaoui–Perrin–Raynal, PAPERS.md) is an {e operation id} plus a
+    {e response register} in shared memory:
+
+    - every request carries a per-process sequence number [seq];
+    - the process {b claims} [seq] in its single-writer shared claim
+      register {e before} applying the underlying update, and writes its
+      single-writer {b response register} {e after} the apply returns;
+    - a new incarnation reads the claim register ({!resume}) and re-invokes
+      only requests {e above} it; comparing the two registers ({!status})
+      further tells it, per request, whether the apply completed or the
+      crash landed in the claim–apply window ([`Maybe_lost]).
+
+    Claim-before-apply yields {e at-most-once}: a crash between claim and
+    apply loses the update entirely, which is linearizable — the cut
+    operation is pending in the history and may linearize zero times.  A
+    crash after apply is detected by the claim and never re-applied.
+    Together with the client re-invoking un-claimed requests
+    (at-least-once), this is exactly-once for every request whose claim was
+    written.
+
+    {!Spec} is the matching sequential specification: updates are keyed by
+    [(pid, seq)] and duplicates are absorbed (idempotent no-ops), so any
+    {e observable} double application is a linearizability violation the
+    checker catches — see [test_crash_restart.ml]. *)
+
+module Make (M : Psnap.Mem.S) (S : Psnap.Snapshot.S) = struct
+  type 'a t = {
+    snap : 'a S.t;
+    claimed : int M.ref_ array;
+        (** [claimed.(pid)]: highest sequence number pid has started
+            applying; single-writer, survives crashes with the rest of
+            shared memory *)
+    resp : int M.ref_ array;
+        (** [resp.(pid)]: highest sequence number whose apply {e finished}
+            (the response register); written strictly after the underlying
+            update, so [resp < claimed] pins a crash to the claim–apply
+            window *)
+  }
+
+  type 'a handle = { t : 'a t; h : 'a S.handle; pid : int }
+
+  let name = "detectable(" ^ S.name ^ ")"
+
+  let create ~n init =
+    {
+      snap = S.create ~n init;
+      claimed =
+        Array.init n (fun pid ->
+            M.make ~name:(Printf.sprintf "claim[%d]" pid) (-1));
+      resp =
+        Array.init n (fun pid ->
+            M.make ~name:(Printf.sprintf "resp[%d]" pid) (-1));
+    }
+
+  let handle t ~pid = { t; h = S.handle t.snap ~pid; pid }
+
+  (** Highest sequence number this pid ever claimed, [-1] if none: the
+      first thing a recovering incarnation reads.  Requests at or below it
+      must {e not} be re-invoked (their fate is sealed: applied, or lost to
+      a crash between claim and apply); requests above it must be. *)
+  let resume h = M.read h.t.claimed.(h.pid)
+
+  (** What the response register proves about request [seq] after a crash:
+      [`Completed] — the apply finished (and will never be re-applied);
+      [`Maybe_lost] — claimed, but the crash hit the claim–apply window, so
+      the update may or may not have taken effect (re-applying would risk a
+      double apply, so it is {e not} retried — the client is told instead);
+      [`Never_claimed] — safe and necessary to re-invoke. *)
+  let status h ~seq =
+    let c = M.read h.t.claimed.(h.pid) in
+    if seq > c then `Never_claimed
+    else if seq <= M.read h.t.resp.(h.pid) then `Completed
+    else `Maybe_lost
+
+  (** [update h ~seq i v] applies request [seq] at most once across all
+      incarnations of [h.pid].  Sequence numbers must be issued in
+      increasing order by the client (its request log position).  Returns
+      [`Applied] if this call performed the underlying update, [`Skipped]
+      if the request was already claimed by an earlier incarnation. *)
+  let update h ~seq i v =
+    let c = M.read h.t.claimed.(h.pid) in
+    if seq <= c then `Skipped
+    else begin
+      (* Claim strictly before applying: a crash inside this window loses
+         the update (at-most-once), a crash after it is detected. *)
+      M.write h.t.claimed.(h.pid) seq;
+      S.update h.h i v;
+      (* Response strictly after applying: an incarnation that finds
+         [resp >= seq] knows the update landed exactly once. *)
+      M.write h.t.resp.(h.pid) seq;
+      `Applied
+    end
+
+  let scan h idxs = S.scan h.h idxs
+
+  let last_scan_collects h = S.last_scan_collects h.h
+end
+
+(** Sequential specification of the detectable partial snapshot over
+    integer values: updates keyed by [(pid, seq)], duplicates absorbed.
+    Because a duplicate is a no-op, a history in which a re-invoked update
+    {e observably} applies twice (some scan sees the overwritten value
+    reappear) is non-linearizable — the property the raw, non-detectable
+    recovery violates. *)
+module Spec = struct
+  type state = { vals : int array; applied : int array }
+  (** [applied.(pid)]: highest [seq] linearized for [pid] ([-1] none). *)
+
+  type op = Up of { pid : int; seq : int; i : int; v : int } | Scan of int array
+
+  type res = Ack | Vals of int array
+
+  let init ~n vals = { vals = Array.copy vals; applied = Array.make n (-1) }
+
+  let apply st = function
+    | Up { pid; seq; i; v } ->
+      if seq <= st.applied.(pid) then (st, Ack) (* duplicate: absorbed *)
+      else
+        let[@psnap.local_state
+             "sequential-spec model state: fresh private copies mutated \
+              before being returned; never simulated shared memory"] vals =
+          Array.copy st.vals
+        in
+        let[@psnap.local_state
+             "sequential-spec model state: fresh private copy, as above"]
+            applied =
+          Array.copy st.applied
+        in
+        vals.(i) <- v;
+        applied.(pid) <- seq;
+        ({ vals; applied }, Ack)
+    | Scan idxs -> (st, Vals (Array.map (fun i -> st.vals.(i)) idxs))
+
+  let equal_res a b = a = b
+
+  let pp_op ppf = function
+    | Up { pid; seq; i; v } -> Fmt.pf ppf "up#%d.%d(%d,%d)" pid seq i v
+    | Scan idxs -> Fmt.pf ppf "scan(%a)" Fmt.(array ~sep:comma int) idxs
+
+  let pp_res ppf = function
+    | Ack -> Fmt.string ppf "ack"
+    | Vals vs -> Fmt.pf ppf "(%a)" Fmt.(array ~sep:comma int) vs
+end
+
+module Checker = Psnap.Lin_check.Make (Spec)

@@ -36,6 +36,7 @@ module Explore = Psnap_sched.Explore
 module Metrics = Psnap_sched.Metrics
 module Event = Psnap_sched.Event
 module Trace = Psnap_sched.Trace
+module Shrink = Psnap_sched.Shrink
 module Interval_set = Psnap_interval.Interval_set
 
 (** Histories and correctness checkers. *)

@@ -376,7 +376,8 @@ let e6 ?seeds () =
     let target = ref None in
     let scan_budget = ref 0 in
     let next_u = ref 0 in
-    let pick ~runnable ~clock:_ =
+    let pick (view : Scheduler.view) =
+      let runnable = view.Scheduler.runnable in
       let mem p = Array.exists (fun q -> q = p) runnable in
       let rec go guard =
         if guard = 0 then Scheduler.Run runnable.(0)

@@ -55,6 +55,16 @@ let entries t =
 
 let length t = List.length t.cells
 
+(** The pending (crash-cut) operations of [pid], in invocation order.
+    Under crash–restart a new incarnation can consult this to learn which
+    of its requests have no recorded response — though the honest recovery
+    protocol must of course use {e shared} state (the point of the
+    [Detectable] wrapper), this is the ground truth the checker sees. *)
+let pending_ops t ~pid =
+  entries t
+  |> List.filter_map (fun e ->
+         if e.pid = pid && is_pending e then Some e.op else None)
+
 (** [precedes a b]: [a] responded before [b] was invoked (real-time
     order). *)
 let precedes a b = match a.resp with Some r -> r < b.inv | None -> false

@@ -33,6 +33,11 @@ val entries : ('op, 'res) t -> ('op, 'res) entry list
 
 val length : ('op, 'res) t -> int
 
+(** The pending (crash-cut) operations of [pid], in invocation order.
+    Under crash–restart these are the requests a new incarnation of [pid]
+    cannot know the fate of without consulting shared state. *)
+val pending_ops : ('op, 'res) t -> pid:int -> 'op list
+
 (** [precedes a b] — [a] responded before [b] was invoked (real-time
     order). *)
 val precedes : ('op, 'res) entry -> ('op, 'res) entry -> bool

@@ -28,8 +28,10 @@ module Make (S : SPEC) = struct
 
   exception Too_long of int
 
-  (** [check ~init h] — true iff [h] is linearizable from state [init]. *)
-  let check ~init (h : entry list) =
+  (** [witness ~init h] — a linearization order (indices into [h], in
+      linearization-point order; un-listed pending operations never took
+      effect) if [h] is linearizable from [init], else [None]. *)
+  let witness ~init (h : entry list) =
     let entries = Array.of_list h in
     let n = Array.length entries in
     if n > 62 then raise (Too_long n);
@@ -51,13 +53,13 @@ module Make (S : SPEC) = struct
       entries;
     let memo : (int * S.state, unit) Hashtbl.t = Hashtbl.create 1024 in
     let rec go linearized state =
-      if !completed_mask land linearized = !completed_mask then true
-      else if Hashtbl.mem memo (linearized, state) then false
+      if !completed_mask land linearized = !completed_mask then Some []
+      else if Hashtbl.mem memo (linearized, state) then None
       else begin
         Hashtbl.add memo (linearized, state) ();
-        let ok = ref false in
+        let found = ref None in
         let i = ref 0 in
-        while (not !ok) && !i < n do
+        while !found = None && !i < n do
           let bit = 1 lsl !i in
           (if linearized land bit = 0 && preds.(!i) land linearized = preds.(!i)
            then
@@ -66,16 +68,23 @@ module Make (S : SPEC) = struct
              match e.res with
              | Some res ->
                if S.equal_res res r then
-                 ok := go (linearized lor bit) state'
+                 Option.iter
+                   (fun rest -> found := Some (!i :: rest))
+                   (go (linearized lor bit) state')
              | None ->
                (* Pending operation: may take effect (with any response)... *)
-               ok := go (linearized lor bit) state');
+               Option.iter
+                 (fun rest -> found := Some (!i :: rest))
+                 (go (linearized lor bit) state'));
           incr i
         done;
         (* ...or a pending operation may never take effect: covered because
            the success test ignores un-linearized pending entries. *)
-        !ok
+        !found
       end
     in
     go 0 init
+
+  (** [check ~init h] — true iff [h] is linearizable from state [init]. *)
+  let check ~init h = witness ~init h <> None
 end

@@ -29,6 +29,18 @@ module Make (S : SPEC) : sig
   exception Too_long of int
   (** Histories longer than 62 entries exceed the bitmask memoization. *)
 
-  (** [check ~init h] — true iff [h] is linearizable from state [init]. *)
+  (** [check ~init h] — true iff [h] is linearizable from state [init].
+      Pending (crash-cut) operations may linearize at most once, with any
+      response, or not at all — the crash–restart reading of the paper's
+      incomplete operations: a cut operation either took effect before the
+      crash or it did not.  (A {e re-invoked} operation is a fresh history
+      entry; exactly-once semantics across incarnations is the job of the
+      [Detectable] wrapper's spec, not of the checker.) *)
   val check : init:S.state -> entry list -> bool
+
+  (** [witness ~init h] — a linearization order (indices into [h], in
+      linearization-point order) if linearizable, else [None].  Indices of
+      pending operations that never took effect are absent from the
+      order. *)
+  val witness : init:S.state -> entry list -> int list option
 end

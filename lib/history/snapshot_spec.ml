@@ -65,16 +65,24 @@ let init_inv = -1
 
 let init_resp = -1
 
+(* Under crash–restart the same value may legitimately be written more than
+   once (a recovering process re-invokes an update it cannot know the fate
+   of), so a scanned value no longer identifies one producing update but a
+   {e candidate list} of them.  Every check below quantifies over the
+   candidates: a violation is reported only when {b every} attribution of
+   the value to one of its candidate writers violates — which keeps the
+   checker sound (no false alarms) at the cost of missing violations hidden
+   by the ambiguity.  Histories with globally unique values degenerate to
+   singleton candidate lists and get exactly the old precision. *)
 let check_observations ~init (h : (op, res) History.entry list) :
     violation list =
-  (* writer table: value -> (component, inv, resp_or_max) *)
-  let writers : (int, int * int * int) Hashtbl.t = Hashtbl.create 64 in
-  Array.iteri
-    (fun i v ->
-      if Hashtbl.mem writers v then
-        invalid_arg "check_observations: initial values must be unique";
-      Hashtbl.add writers v (i, init_inv, init_resp))
-    init;
+  (* writer table: value -> candidate (component, inv, resp_or_max) list *)
+  let writers : (int, (int * int * int) list) Hashtbl.t = Hashtbl.create 64 in
+  let add_writer v cand =
+    let l = try Hashtbl.find writers v with Not_found -> [] in
+    Hashtbl.replace writers v (cand :: l)
+  in
+  Array.iteri (fun i v -> add_writer v (i, init_inv, init_resp)) init;
   let updates_by_component : (int, (int * int * int) list) Hashtbl.t =
     Hashtbl.create 64
   in
@@ -83,10 +91,8 @@ let check_observations ~init (h : (op, res) History.entry list) :
     (fun (e : (op, res) History.entry) ->
       match e.op with
       | Update (i, v) ->
-        if Hashtbl.mem writers v then
-          invalid_arg "check_observations: written values must be unique";
         let resp = Option.value e.resp ~default:max_int in
-        Hashtbl.add writers v (i, e.inv, resp);
+        add_writer v (i, e.inv, resp);
         let l = try Hashtbl.find updates_by_component i with Not_found -> [] in
         Hashtbl.replace updates_by_component i ((v, e.inv, resp) :: l)
       | Scan _ -> ())
@@ -107,7 +113,8 @@ let check_observations ~init (h : (op, res) History.entry list) :
   List.iter
     (fun ((e : (op, res) History.entry), idxs, vs) ->
       let resp = Option.value e.resp ~default:max_int in
-      (* Resolve each returned value to its writing update. *)
+      (* Resolve each returned value to its candidate writing updates on the
+         scanned component. *)
       let versions =
         Array.map2
           (fun i v ->
@@ -115,49 +122,68 @@ let check_observations ~init (h : (op, res) History.entry list) :
             | None ->
               bad e i (Printf.sprintf "returned value %d never written" v);
               None
-            | Some (i', winv, wresp) ->
-              if i' <> i then (
+            | Some cands -> (
+              match
+                List.filter_map
+                  (fun (i', winv, wresp) ->
+                    if i' = i then Some (winv, wresp) else None)
+                  cands
+              with
+              | [] ->
+                let i', _, _ = List.hd cands in
                 bad e i
                   (Printf.sprintf "value %d belongs to component %d" v i');
-                None)
-              else Some (v, winv, wresp))
+                None
+              | here -> Some (v, here)))
           idxs vs
       in
-      (* (1) no reads from the future *)
+      (* (1) no reads from the future: every candidate writer was invoked
+         after the scan responded *)
       Array.iteri
         (fun k -> function
-          | Some (v, winv, _) when winv >= resp ->
+          | Some (v, cands)
+            when List.for_all (fun (winv, _) -> winv >= resp) cands ->
             bad e idxs.(k)
               (Printf.sprintf "value %d written by an update invoked after the scan responded" v)
           | _ -> ())
         versions;
-      (* earliest possible linearization point of the scan *)
+      (* earliest possible linearization point of the scan: each read value
+         forces the scan past the earliest invocation among its candidates *)
       let t_lo =
         Array.fold_left
-          (fun acc -> function Some (_, winv, _) -> max acc winv | None -> acc)
+          (fun acc -> function
+            | Some (_, cands) ->
+              max acc
+                (List.fold_left (fun m (winv, _) -> min m winv) max_int cands)
+            | None -> acc)
           e.inv versions
       in
-      (* (2)+(3) overwrite: some update W on component i lies entirely after
-         the read version and entirely before every possible linearization
-         point of the scan *)
+      (* (2)+(3) overwrite: whichever candidate produced the read value,
+         some update of a different value lies entirely after it and
+         entirely before every possible linearization point of the scan *)
       Array.iteri
         (fun k version ->
           match version with
           | None -> ()
-          | Some (v, _, vresp) ->
+          | Some (v, cands) ->
             let i = idxs.(k) in
             let others = try Hashtbl.find updates_by_component i with Not_found -> [] in
-            List.iter
-              (fun (w, winv, wresp) ->
-                if w <> v && winv > vresp && wresp < t_lo then
-                  bad e i
-                    (Printf.sprintf
-                       "stale read: value %d was overwritten by %d before the scan could linearize"
-                       v w))
-              others)
+            let overwritten (_, cresp) =
+              List.exists
+                (fun (w, winv, wresp) ->
+                  w <> v && winv > cresp && wresp < t_lo)
+                others
+            in
+            if List.for_all overwritten cands then
+              bad e i
+                (Printf.sprintf
+                   "stale read: value %d was overwritten before the scan could linearize"
+                   v))
         versions)
     scans;
-  (* (4) monotonicity across real-time-ordered scans *)
+  (* (4) monotonicity across real-time-ordered scans — restricted to values
+     with a {e unique} candidate writer on the scanned component, where the
+     version order is unambiguous *)
   let resolved =
     List.map
       (fun (e, idxs, vs) ->
@@ -165,8 +191,13 @@ let check_observations ~init (h : (op, res) History.entry list) :
         Array.iteri
           (fun k i ->
             match Hashtbl.find_opt writers vs.(k) with
-            | Some (i', winv, wresp) when i' = i -> Hashtbl.replace m i (vs.(k), winv, wresp)
-            | _ -> ())
+            | Some cands -> (
+              match
+                List.filter (fun (i', _, _) -> i' = i) cands
+              with
+              | [ (_, winv, wresp) ] -> Hashtbl.replace m i (vs.(k), winv, wresp)
+              | _ -> ())
+            | None -> ())
           idxs;
         (e, m))
       scans

@@ -41,7 +41,11 @@ type violation = {
 
 val pp_violation : violation Fmt.t
 
-(** Requires all initial and written values to be globally unique
-    ([Invalid_argument] otherwise). *)
+(** Duplicate written values (e.g. a crash–restart re-invoking an update)
+    are handled by candidate writer lists: a violation is reported only if
+    {e every} attribution of a scanned value to one of its candidate
+    writers violates, so the checker stays sound; precision is highest —
+    and equal to the old unique-values behaviour — when values are
+    globally unique. *)
 val check_observations :
   init:int array -> (op, res) History.entry list -> violation list

@@ -40,20 +40,23 @@ module Make (M : Mem_intf.S) = struct
   let chunk_size c = 1 lsl c
 
   (* Local allocation costs no steps; the CAS install is one step.  If the
-     install loses a race, the winner's chunk is used. *)
+     install loses a race, the winner's chunk is used.  The install is
+     retried while the slot is still [None]: under a weak (LL/SC-style) CAS
+     a failure does not imply another process installed a chunk — it may be
+     spurious.  [@psnap.helping] *)
   let get_chunk t c =
-    match M.read t.dir.(c) with
-    | Some ch -> ch
-    | None ->
-      let fresh =
-        Some (Array.init (chunk_size c) (fun _ -> M.make t.default))
-      in
+    let rec install fresh =
       if M.cas t.dir.(c) ~expected:None ~desired:fresh then
         match fresh with Some ch -> ch | None -> assert false
       else (
         match M.read t.dir.(c) with
         | Some ch -> ch
-        | None -> assert false (* once installed, never removed *))
+        | None -> install fresh)
+    in
+    match M.read t.dir.(c) with
+    | Some ch -> ch
+    | None ->
+      install (Some (Array.init (chunk_size c) (fun _ -> M.make t.default)))
 
   let cell t i =
     let c, off = locate i in

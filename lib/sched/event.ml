@@ -5,6 +5,9 @@ type mem_op = Read | Write | Cas | Faa
 type t =
   | Step of { pid : int; oid : int; obj_name : string; op : mem_op; clock : int }
   | Crash of { pid : int; clock : int }
+  | Restart of { pid : int; incarnation : int; clock : int }
+      (** the pid respawned on its recovery function; [incarnation] counts
+          from 2 (the initial body is incarnation 1) *)
 
 let pp_mem_op ppf = function
   | Read -> Fmt.string ppf "read"
@@ -16,3 +19,5 @@ let pp ppf = function
   | Step { pid; oid; obj_name; op; clock } ->
     Fmt.pf ppf "%6d p%d %a %s#%d" clock pid pp_mem_op op obj_name oid
   | Crash { pid; clock } -> Fmt.pf ppf "%6d p%d CRASH" clock pid
+  | Restart { pid; incarnation; clock } ->
+    Fmt.pf ppf "%6d p%d RESTART (incarnation %d)" clock pid incarnation

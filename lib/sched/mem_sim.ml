@@ -90,10 +90,39 @@ let write r v =
   Sim.step { oid = r.oid; obj_name = r.name; op = Event.Write };
   r.v <- v
 
+(* Weak-CAS mode: seeded spurious failure, as on LL/SC machines (and the
+   memory model of "weak compare-and-swap" in the C++/LLVM sense).  A
+   spurious failure returns false while leaving the cell untouched even
+   though it held the expected value — code that treats a failed CAS as
+   proof of a conflicting write is wrong on such machines.  Off by
+   default; tests switch it on to exercise the [@psnap.helping] retry
+   loops dynamically. *)
+
+let weak : (Random.State.t * float) option ref = ref None
+
+let weak_spurious = ref 0
+
+let set_weak_cas ?(seed = 0) ~rate () =
+  if not (rate >= 0.0 && rate <= 1.0) then
+    invalid_arg "Mem_sim.set_weak_cas: rate must be in [0, 1]";
+  weak := Some (Random.State.make [| seed; 0xCA5 |], rate);
+  weak_spurious := 0
+
+let clear_weak_cas () = weak := None
+
+let weak_cas_spurious () = !weak_spurious
+
 let cas r ~expected ~desired =
   guard r "cas";
   Sim.step { oid = r.oid; obj_name = r.name; op = Event.Cas };
-  if r.v == expected then (
+  let spurious =
+    match !weak with
+    | Some (st, rate) when Random.State.float st 1.0 < rate ->
+      incr weak_spurious;
+      true
+    | _ -> false
+  in
+  if (not spurious) && r.v == expected then (
     r.v <- desired;
     true)
   else false

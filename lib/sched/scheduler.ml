@@ -3,23 +3,81 @@
     The paper's model lets an adversary interleave the atomic steps of the
     processes arbitrarily (Section 2).  A scheduler is asked, at every step,
     which of the runnable processes takes the next shared-memory step; it may
-    instead crash a process (halting failure) or stop the run early (used by
-    the exhaustive explorer). *)
+    instead crash a process (crash–restart fault model: the process loses its
+    local state but shared memory survives), restart a previously crashed
+    process on its recovery function, or stop the run early (used by the
+    exhaustive explorer).
+
+    Policies receive a {!view} of the machine: the runnable pids, the crashed
+    pids eligible for restart, the clock, and the kind of shared access each
+    runnable process is suspended at — enough for targeted fault injection
+    ("crash this process while its CAS is pending") without giving the
+    adversary anything the model's adversary does not have. *)
+
+type view = {
+  runnable : int array;
+      (** pids with a pending step; empty only when every live process has
+          crashed but some remain restartable *)
+  crashed : int array;
+      (** crashed pids eligible for {!Restart} — empty unless the run was
+          given a recovery function *)
+  clock : int;
+  op_of : int -> Event.mem_op option;
+      (** kind of the shared access a runnable pid is suspended at; [None]
+          for pids that are not runnable *)
+  steps_of : int -> int;
+      (** shared-memory steps executed so far by a pid (across all its
+          incarnations) *)
+}
 
 type decision =
   | Run of int  (** pid takes its pending step *)
-  | Crash of int  (** pid halts; its pending step is never executed *)
+  | Crash of int  (** pid halts losing its local state; its pending step is
+                      never executed *)
+  | Restart of int  (** a crashed pid respawns on its recovery function *)
   | Stop  (** abandon the run (explorer ran out of forced choices) *)
 
-type t = { name : string; pick : runnable:int array -> clock:int -> decision }
+type t = { name : string; pick : view -> decision }
 
 let name t = t.name
 
-let pick t = t.pick
+let pick t view = t.pick view
+
+let is_runnable v pid = Array.exists (fun p -> p = pid) v.runnable
+
+let is_restartable v pid = Array.exists (fun p -> p = pid) v.crashed
+
+(* ---- decision serialization (schedule files, shrink reports) ---- *)
+
+let decision_to_string = function
+  | Run pid -> Printf.sprintf "run %d" pid
+  | Crash pid -> Printf.sprintf "crash %d" pid
+  | Restart pid -> Printf.sprintf "restart %d" pid
+  | Stop -> "stop"
+
+let decision_of_string s =
+  match String.split_on_char ' ' (String.trim s) with
+  | [ "run"; p ] -> Run (int_of_string p)
+  | [ "crash"; p ] -> Crash (int_of_string p)
+  | [ "restart"; p ] -> Restart (int_of_string p)
+  | [ "stop" ] -> Stop
+  | _ -> invalid_arg (Printf.sprintf "Scheduler.decision_of_string: %S" s)
+
+let pp_decision ppf d = Fmt.string ppf (decision_to_string d)
+
+(* ---- basic policies ---- *)
+
+(* Fault-oblivious policies only ever [Run]; when the view has no runnable
+   pid (everything left alive has crashed, restartable), they end the run.
+   [Sim.run] reports [Stop] with no runnable pids as [Completed]: the
+   crashed processes simply never came back, which the crash–restart model
+   allows. *)
+let or_stop pick v = if Array.length v.runnable = 0 then Stop else pick v
 
 let round_robin () =
   let last = ref (-1) in
-  let pick ~runnable ~clock:_ =
+  let pick v =
+    let runnable = v.runnable in
     (* smallest runnable pid strictly greater than [!last], cyclically *)
     let n = Array.length runnable in
     let best = ref runnable.(0) in
@@ -33,14 +91,12 @@ let round_robin () =
     last := !best;
     Run !best
   in
-  { name = "round-robin"; pick }
+  { name = "round-robin"; pick = or_stop pick }
 
 let random ~seed () =
   let st = Random.State.make [| seed |] in
-  let pick ~runnable ~clock:_ =
-    Run runnable.(Random.State.int st (Array.length runnable))
-  in
-  { name = Printf.sprintf "random(%d)" seed; pick }
+  let pick v = Run v.runnable.(Random.State.int st (Array.length v.runnable)) in
+  { name = Printf.sprintf "random(%d)" seed; pick = or_stop pick }
 
 (** Mostly runs processes other than [victims]; a victim runs only when it is
     alone or with probability [boost].  Models a slow scanner among fast
@@ -48,7 +104,8 @@ let random ~seed () =
 let starve ~victims ~seed ?(boost = 0.02) () =
   let st = Random.State.make [| seed |] in
   let is_victim p = List.mem p victims in
-  let pick ~runnable ~clock:_ =
+  let pick v =
+    let runnable = v.runnable in
     let others = Array.to_list runnable |> List.filter (fun p -> not (is_victim p)) in
     match others with
     | [] -> Run runnable.(Random.State.int st (Array.length runnable))
@@ -57,18 +114,18 @@ let starve ~victims ~seed ?(boost = 0.02) () =
         Run runnable.(Random.State.int st (Array.length runnable))
       else Run (List.nth others (Random.State.int st (List.length others)))
   in
-  { name = "starve"; pick }
+  { name = "starve"; pick = or_stop pick }
 
 (** Replays an explicit list of pids; issues [Stop] when the list is
     exhausted and the program has not finished.  Used by {!Explore}. *)
 let replay choices =
   let rest = ref choices in
-  let pick ~runnable ~clock:_ =
+  let pick v =
     match !rest with
     | [] -> Stop
     | c :: tl ->
       rest := tl;
-      if Array.exists (fun p -> p = c) runnable then Run c
+      if is_runnable v c then Run c
       else
         (* A forced choice must be runnable: the explorer only extends
            prefixes with pids it observed runnable. *)
@@ -79,32 +136,48 @@ let replay choices =
 (** [replay_then choices fallback] replays a prefix then delegates. *)
 let replay_then choices fallback =
   let rest = ref choices in
-  let pick ~runnable ~clock =
+  let pick v =
     match !rest with
-    | c :: tl when Array.exists (fun p -> p = c) runnable ->
+    | c :: tl when is_runnable v c ->
       rest := tl;
       Run c
     | c :: _ ->
       invalid_arg
         (Printf.sprintf "Scheduler.replay_then: choice p%d not runnable" c)
-    | [] -> fallback.pick ~runnable ~clock
+    | [] -> fallback.pick v
   in
   { name = "replay+" ^ fallback.name; pick }
 
-(** [with_crash ~pid ~at_clock inner] crashes [pid] the first time the clock
-    reaches [at_clock] while [pid] is runnable. *)
-let with_crash ~pid ~at_clock inner =
-  let done_ = ref false in
-  let pick ~runnable ~clock =
-    if
-      (not !done_) && clock >= at_clock
-      && Array.exists (fun p -> p = pid) runnable
-    then (
-      done_ := true;
-      Crash pid)
-    else inner.pick ~runnable ~clock
+(** Replays an explicit decision list (the shape recorded by
+    [Trace.schedule]); issues [Stop] — or delegates to [fallback] — once
+    exhausted.  In [lenient] mode a decision that is not currently applicable
+    (pid not runnable for [Run]/[Crash], not crashed for [Restart]) is
+    silently skipped instead of raising; the delta-debugging shrinker relies
+    on this to evaluate subsequences of a recorded schedule. *)
+let replay_decisions ?(lenient = false) ?fallback decisions =
+  let rest = ref decisions in
+  let rec pick v =
+    match !rest with
+    | [] -> (match fallback with Some f -> f.pick v | None -> Stop)
+    | d :: tl ->
+      let applicable =
+        match d with
+        | Run p | Crash p -> is_runnable v p
+        | Restart p -> is_restartable v p
+        | Stop -> true
+      in
+      if applicable then (
+        rest := tl;
+        d)
+      else if lenient then (
+        rest := tl;
+        pick v)
+      else
+        invalid_arg
+          (Printf.sprintf "Scheduler.replay_decisions: %s not applicable"
+             (decision_to_string d))
   in
-  { name = inner.name ^ "+crash"; pick }
+  { name = "replay-decisions"; pick }
 
 (** Probabilistic concurrency testing (Burckhardt et al., ASPLOS 2010):
     assign each process a random priority, always run the highest-priority
@@ -133,9 +206,10 @@ let pct ~seed ?(depth = 3) ?(expected_steps = 2000) () =
       Hashtbl.replace priorities p x;
       x
   in
-  let pick ~runnable ~clock =
+  let pick v =
+    let runnable = v.runnable in
     (match !remaining with
-    | cp :: rest when clock >= cp ->
+    | cp :: rest when v.clock >= cp ->
       remaining := rest;
       (* demote the currently highest-priority runnable process *)
       let top =
@@ -156,7 +230,7 @@ let pct ~seed ?(depth = 3) ?(expected_steps = 2000) () =
     Array.iter (fun p -> if priority p > priority !best then best := p) runnable;
     Run !best
   in
-  { name = Printf.sprintf "pct(d=%d)" depth; pick }
+  { name = Printf.sprintf "pct(d=%d)" depth; pick = or_stop pick }
 
 (** Deterministic burst-rotation adversary: repeatedly gives the next
     non-victim process [burst] consecutive steps (enough to complete a whole
@@ -169,7 +243,8 @@ let pct ~seed ?(depth = 3) ?(expected_steps = 2000) () =
 let rotation ~victims ~burst ~victim_steps () =
   let phases = ref [] in
   let next = ref 0 in
-  let pick ~runnable ~clock:_ =
+  let pick v =
+    let runnable = v.runnable in
     let mem p = Array.exists (fun q -> q = p) runnable in
     let rec take () =
       match !phases with
@@ -194,7 +269,7 @@ let rotation ~victims ~burst ~victim_steps () =
     in
     take ()
   in
-  { name = "rotation"; pick }
+  { name = "rotation"; pick = or_stop pick }
 
 (** Runs each process a random burst of consecutive steps (geometric with
     mean [mean_burst]).  Bursty schedules are what trigger the
@@ -203,7 +278,8 @@ let bursty ~seed ?(mean_burst = 8) () =
   let st = Random.State.make [| seed |] in
   let cur = ref (-1) in
   let left = ref 0 in
-  let pick ~runnable ~clock:_ =
+  let pick v =
+    let runnable = v.runnable in
     let cur_runnable = Array.exists (fun p -> p = !cur) runnable in
     if !left <= 0 || not cur_runnable then (
       cur := runnable.(Random.State.int st (Array.length runnable));
@@ -211,4 +287,181 @@ let bursty ~seed ?(mean_burst = 8) () =
     decr left;
     Run !cur
   in
-  { name = "bursty"; pick }
+  { name = "bursty"; pick = or_stop pick }
+
+(* ---- nemesis combinators: fault injection over an inner policy ---- *)
+
+(** [with_crash ~pid ~at_clock inner] crashes [pid] the first time the clock
+    reaches [at_clock] while [pid] is runnable.  The pid stays down for the
+    rest of the run (halting failure). *)
+let with_crash ~pid ~at_clock inner =
+  let done_ = ref false in
+  let pick v =
+    if (not !done_) && v.clock >= at_clock && is_runnable v pid then (
+      done_ := true;
+      Crash pid)
+    else inner.pick v
+  in
+  { name = inner.name ^ "+crash"; pick }
+
+(** One deterministic crash–restart cycle: crash [pid] once the clock
+    reaches [crash_at], then restart it [restart_after] clock ticks after
+    the crash (a {e delayed} restart — the pid stays down while others make
+    progress, as a rebooting server would). *)
+let with_crash_restart ~pid ~crash_at ~restart_after inner =
+  let state = ref `Armed in
+  let pick v =
+    match !state with
+    | `Armed when v.clock >= crash_at && is_runnable v pid ->
+      state := `Down v.clock;
+      Crash pid
+    | `Down c when v.clock >= c + restart_after && is_restartable v pid ->
+      state := `Done;
+      Restart pid
+    | `Down _
+      when Array.length v.runnable = 0 && is_restartable v pid ->
+      (* Everything is down, so the clock can never reach the scheduled
+         restart time: reboot now rather than livelock. *)
+      state := `Done;
+      Restart pid
+    | _ -> inner.pick v
+  in
+  { name = inner.name ^ "+crash-restart"; pick }
+
+(** Seeded crash storm: at every decision point, with probability [rate],
+    crash a uniformly chosen runnable process (at most [max_crashes] kills
+    per run), restarting each victim [restart_after] clock ticks later.
+    Restarts are issued deterministically in [view.crashed] order.  The
+    last runnable process is never crashed, so the run keeps making
+    progress. *)
+let crash_storm ~seed ?(rate = 0.02) ?(max_crashes = 4) ?(restart_after = 25)
+    inner =
+  let st = Random.State.make [| seed; 0x5702 |] in
+  let kills = ref 0 in
+  (* pid -> clock of its crash; a crashed pid absent from the table (crashed
+     by someone else, e.g. a composed nemesis) is due immediately. *)
+  let down : (int, int) Hashtbl.t = Hashtbl.create 4 in
+  let pick v =
+    (* When nothing is runnable the clock is frozen, so every pending
+       restart is due now. *)
+    let stalled = Array.length v.runnable = 0 in
+    let due =
+      Array.to_list v.crashed
+      |> List.filter (fun p ->
+             stalled
+             ||
+             match Hashtbl.find_opt down p with
+             | Some c -> v.clock >= c + restart_after
+             | None -> true)
+    in
+    match due with
+    | p :: _ ->
+      Hashtbl.remove down p;
+      Restart p
+    | [] ->
+      if
+        !kills < max_crashes
+        && Array.length v.runnable > 1
+        && Random.State.float st 1.0 < rate
+      then begin
+        let p = v.runnable.(Random.State.int st (Array.length v.runnable)) in
+        incr kills;
+        Hashtbl.replace down p v.clock;
+        Crash p
+      end
+      else inner.pick v
+  in
+  { name = Printf.sprintf "storm(%d)+%s" seed inner.name; pick }
+
+(** Targeted fault: crash [pid] the [nth] time it is suspended at a shared
+    access of kind [op] — e.g. [~op:Event.Cas] kills an updater {e between
+    its read and its CAS}, the classic lost-update window.  With
+    [?restart_after] the victim is respawned that many clock ticks later;
+    without it the crash is permanent. *)
+let crash_on_op ~pid ~op ?(nth = 1) ?restart_after inner =
+  let seen = ref 0 in
+  let last_counted = ref (-1) in
+  let state = ref `Armed in
+  let pick v =
+    match !state with
+    | `Done -> inner.pick v
+    | `Down c -> (
+      match restart_after with
+      | Some d
+        when is_restartable v pid
+             && (v.clock >= c + d || Array.length v.runnable = 0) ->
+        state := `Done;
+        Restart pid
+      | _ -> inner.pick v)
+    | `Armed ->
+      if is_runnable v pid && v.op_of pid = Some op then begin
+        (* Count each distinct suspension once, not each consultation: the
+           victim's executed-step count changes exactly when it moves to a
+           new pending access. *)
+        let steps = v.steps_of pid in
+        if steps <> !last_counted then begin
+          last_counted := steps;
+          incr seen
+        end;
+        if !seen >= nth then begin
+          state := `Down v.clock;
+          Crash pid
+        end
+        else inner.pick v
+      end
+      else inner.pick v
+  in
+  { name = inner.name ^ "+crash-on-op"; pick }
+
+(** The seeded chaos nemesis: composes the storm (random kills, delayed
+    randomized restarts) with targeted kills — when a victim is chosen and
+    some runnable process has a CAS pending, that process is preferred with
+    probability 1/2, maximizing pressure on the read-to-CAS windows.  All
+    randomness derives from [seed]; the whole schedule replays exactly.
+    Defaults to a seeded {!random} walk between faults. *)
+let chaos ~seed ?(rate = 0.04) ?(max_crashes = 6) ?(max_restart_delay = 30)
+    ?inner () =
+  let inner =
+    match inner with Some s -> s | None -> random ~seed:(seed lxor 0x9e3779) ()
+  in
+  let st = Random.State.make [| seed; 0xC4A05 |] in
+  let kills = ref 0 in
+  let due : (int, int) Hashtbl.t = Hashtbl.create 4 in
+  let pick v =
+    let stalled = Array.length v.runnable = 0 in
+    let ready =
+      Array.to_list v.crashed
+      |> List.filter (fun p ->
+             stalled
+             ||
+             match Hashtbl.find_opt due p with
+             | Some c -> v.clock >= c
+             | None -> true)
+    in
+    match ready with
+    | p :: _ ->
+      Hashtbl.remove due p;
+      Restart p
+    | [] ->
+      if
+        !kills < max_crashes
+        && Array.length v.runnable > 1
+        && Random.State.float st 1.0 < rate
+      then begin
+        let cas_pending =
+          Array.to_list v.runnable
+          |> List.filter (fun p -> v.op_of p = Some Event.Cas)
+        in
+        let victim =
+          match cas_pending with
+          | p :: _ when Random.State.bool st -> p
+          | _ -> v.runnable.(Random.State.int st (Array.length v.runnable))
+        in
+        incr kills;
+        Hashtbl.replace due victim
+          (v.clock + 1 + Random.State.int st (max 1 max_restart_delay));
+        Crash victim
+      end
+      else inner.pick v
+  in
+  { name = Printf.sprintf "chaos(%d)" seed; pick }

@@ -2,19 +2,60 @@
 
     At every step the simulator asks the scheduler which runnable process
     executes its pending shared-memory access.  A policy may also crash a
-    process (halting failure) or stop the run (used by the exhaustive
+    process (the process loses its local state; shared memory survives),
+    restart a previously crashed process on its recovery function
+    (crash–restart fault model), or stop the run (used by the exhaustive
     explorer).  All randomized policies are seeded and replayable. *)
+
+(** What the adversary sees at a decision point. *)
+type view = {
+  runnable : int array;
+      (** pids with a pending step; empty only when every live process has
+          crashed but some remain restartable *)
+  crashed : int array;
+      (** crashed pids eligible for {!Restart} — empty unless the run was
+          given a recovery function *)
+  clock : int;
+  op_of : int -> Event.mem_op option;
+      (** kind of the shared access a runnable pid is suspended at; [None]
+          for pids that are not runnable *)
+  steps_of : int -> int;
+      (** shared-memory steps executed so far by a pid (across all its
+          incarnations) *)
+}
 
 type decision =
   | Run of int  (** pid takes its pending step *)
-  | Crash of int  (** pid halts; its pending access never executes *)
+  | Crash of int  (** pid halts losing its local state; its pending access
+                      never executes *)
+  | Restart of int  (** a crashed pid respawns on its recovery function *)
   | Stop  (** abandon the run *)
 
-type t = { name : string; pick : runnable:int array -> clock:int -> decision }
+type t = { name : string; pick : view -> decision }
 
 val name : t -> string
 
-val pick : t -> runnable:int array -> clock:int -> decision
+val pick : t -> view -> decision
+
+val is_runnable : view -> int -> bool
+(** [is_runnable v pid] — [pid] has a pending step in [v]. *)
+
+val is_restartable : view -> int -> bool
+(** [is_restartable v pid] — [pid] is crashed and eligible for {!Restart}
+    in [v]. *)
+
+(** {2 Decision serialization} — schedule files and shrink reports use the
+    textual form ["run 3"], ["crash 0"], ["restart 0"], ["stop"], one
+    decision per line. *)
+
+val decision_to_string : decision -> string
+
+val decision_of_string : string -> decision
+(** @raise Invalid_argument on malformed input *)
+
+val pp_decision : Format.formatter -> decision -> unit
+
+(** {2 Basic policies} *)
 
 (** Strict rotation over the runnable pids. *)
 val round_robin : unit -> t
@@ -40,9 +81,13 @@ val replay : int list -> t
 (** Replays a prefix, then delegates to the fallback policy. *)
 val replay_then : int list -> t -> t
 
-(** Crashes [pid] the first time the clock reaches [at_clock] while [pid]
-    is runnable; otherwise delegates. *)
-val with_crash : pid:int -> at_clock:int -> t -> t
+(** Replays an explicit decision list (the shape produced by
+    [Trace.schedule]); [Stop]s — or delegates to [fallback] — once
+    exhausted.  In [lenient] mode (default false) a decision that is not
+    currently applicable is skipped instead of raising; the delta-debugging
+    shrinker relies on this to evaluate subsequences of a recorded
+    schedule. *)
+val replay_decisions : ?lenient:bool -> ?fallback:t -> decision list -> t
 
 (** Deterministic burst-rotation adversary: each non-victim in turn gets
     [burst] consecutive steps, then every victim gets [victim_steps].
@@ -52,3 +97,47 @@ val rotation : victims:int list -> burst:int -> victim_steps:int -> unit -> t
 
 (** Random bursts of consecutive steps (geometric, mean [mean_burst]). *)
 val bursty : seed:int -> ?mean_burst:int -> unit -> t
+
+(** {2 Nemesis combinators} — fault injection layered over an inner policy.
+    A nemesis only issues {!Restart} for pids listed in [view.crashed], so
+    composing one with a run that has no recovery function degrades to
+    permanent crashes. *)
+
+(** Crashes [pid] the first time the clock reaches [at_clock] while [pid]
+    is runnable; the pid stays down forever (halting failure). *)
+val with_crash : pid:int -> at_clock:int -> t -> t
+
+(** One deterministic crash–restart cycle: crash [pid] at [crash_at], then
+    restart it [restart_after] clock ticks later (a delayed restart — the
+    pid stays down while others make progress). *)
+val with_crash_restart : pid:int -> crash_at:int -> restart_after:int -> t -> t
+
+(** Seeded crash storm: at every decision point, with probability [rate]
+    (default 0.02), crash a uniformly chosen runnable process — at most
+    [max_crashes] (default 4) kills per run — restarting each victim
+    [restart_after] (default 25) clock ticks later.  Never crashes the
+    last runnable process. *)
+val crash_storm :
+  seed:int -> ?rate:float -> ?max_crashes:int -> ?restart_after:int -> t -> t
+
+(** Targeted fault: crashes [pid] the [nth] (default 1st) time it is
+    suspended at a shared access of kind [op] — e.g. [~op:Event.Cas] kills
+    an updater between its read and its CAS, the classic lost-update
+    window.  With [restart_after] the victim respawns that many clock
+    ticks later; without it the crash is permanent. *)
+val crash_on_op :
+  pid:int -> op:Event.mem_op -> ?nth:int -> ?restart_after:int -> t -> t
+
+(** The seeded chaos nemesis: random kills ([rate], default 0.04; at most
+    [max_crashes], default 6) with randomized delayed restarts (up to
+    [max_restart_delay], default 30 ticks), preferring victims suspended
+    at a CAS with probability 1/2.  All randomness derives from [seed];
+    [inner] (default: a seeded {!random} walk) schedules between faults. *)
+val chaos :
+  seed:int ->
+  ?rate:float ->
+  ?max_crashes:int ->
+  ?max_restart_delay:int ->
+  ?inner:t ->
+  unit ->
+  t

@@ -1,0 +1,93 @@
+(** Delta-debugging minimization of failing schedules.
+
+    A failing execution recorded by the harness (random, PCT, chaos … — any
+    seeded policy) replays exactly as a decision list ([Trace.schedule]).
+    That list is typically hundreds of decisions long; the bug usually needs
+    a handful.  [minimize] applies Zeller–Hildebrandt ddmin over the
+    decision list: repeatedly try dropping chunks (halves, quarters, …,
+    single decisions) and keep any subsequence on which the [oracle] still
+    reports a failure, until no single decision can be removed — a
+    {e 1-minimal} failing schedule.
+
+    Dropping decisions from the middle of a schedule generally makes later
+    decisions inapplicable (a pid finishes earlier, a crash never happens so
+    its restart is dangling).  Oracles should therefore replay candidates
+    leniently — [Scheduler.replay_decisions ~lenient:true] skips
+    inapplicable decisions — and complete the run with a deterministic
+    fallback policy so the candidate execution is well defined.  The oracle
+    owns that choice; [minimize] only manages the search. *)
+
+type 'a oracle = 'a list -> bool
+(** [oracle candidate] must re-execute the schedule and return [true] iff
+    the failure still shows.  It must be deterministic: same candidate,
+    same verdict. *)
+
+(* Remove the [i]-th of [n] chunks (granularity [n]) from [l]. *)
+let without_chunk l ~n ~i =
+  let len = List.length l in
+  let lo = i * len / n and hi = (i + 1) * len / n in
+  List.filteri (fun j _ -> j < lo || j >= hi) l
+
+(** [minimize ~oracle schedule] returns a 1-minimal sub-list of [schedule]
+    still failing under [oracle], together with the number of oracle calls
+    spent.  [oracle schedule] itself must return [true].
+
+    Complexity: O(k²) oracle calls for a k-decision result in the worst
+    case — fine for simulator schedules (k ≲ a few hundred). *)
+let minimize ~oracle schedule =
+  if not (oracle schedule) then
+    invalid_arg "Shrink.minimize: the full schedule does not fail";
+  let calls = ref 1 in
+  let check c =
+    incr calls;
+    oracle c
+  in
+  (* ddmin: try removing each of [n] chunks; on success restart at
+     granularity 2 over the smaller list, otherwise refine granularity. *)
+  let rec go cur n =
+    let len = List.length cur in
+    if len <= 1 || n > len then cur
+    else begin
+      let rec try_chunks i =
+        if i >= n then None
+        else
+          let cand = without_chunk cur ~n ~i in
+          if List.length cand < len && check cand then Some cand
+          else try_chunks (i + 1)
+      in
+      match try_chunks 0 with
+      | Some cand -> go cand (max 2 (n - 1))
+      | None -> if n >= len then cur else go cur (min len (2 * n))
+    end
+  in
+  let minimal = go schedule 2 in
+  (minimal, !calls)
+
+(* ---- schedule files: one decision per line, '#' comments ---- *)
+
+let save path decisions =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "# psnap schedule v1\n";
+      List.iter
+        (fun d ->
+          output_string oc (Scheduler.decision_to_string d);
+          output_char oc '\n')
+        decisions)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | line ->
+          let line = String.trim line in
+          if line = "" || line.[0] = '#' then go acc
+          else go (Scheduler.decision_of_string line :: acc)
+      in
+      go [])

@@ -1,0 +1,28 @@
+(** Delta-debugging minimization of failing schedules (ddmin).
+
+    Takes the decision list of a recorded failing execution
+    ([Trace.schedule]) and an oracle that replays a candidate and reports
+    whether the failure persists, and produces a {e 1-minimal} failing
+    sub-list: removing any single remaining decision makes the failure
+    vanish.
+
+    Oracles should replay candidates with
+    [Scheduler.replay_decisions ~lenient:true ~fallback:(round_robin ())]:
+    dropping decisions makes later ones inapplicable, and the run must be
+    completed deterministically for the verdict to be well defined. *)
+
+type 'a oracle = 'a list -> bool
+(** [oracle candidate] re-executes the candidate schedule and returns
+    [true] iff the failure still shows.  Must be deterministic. *)
+
+(** [minimize ~oracle schedule] returns [(minimal, oracle_calls)].
+    @raise Invalid_argument if [oracle schedule] is [false]. *)
+val minimize : oracle:'a oracle -> 'a list -> 'a list * int
+
+(** {2 Schedule files} — one decision per line ("run 3", "crash 0",
+    "restart 0", "stop"); blank lines and [#] comments ignored. *)
+
+val save : string -> Scheduler.decision list -> unit
+
+val load : string -> Scheduler.decision list
+(** @raise Invalid_argument on malformed lines, [Sys_error] on I/O. *)

@@ -9,7 +9,13 @@
 
     Halting failures are modelled by dropping a fiber's continuation: the
     process simply stops taking steps, which is precisely a crash in the
-    asynchronous model (and indistinguishable from being very slow). *)
+    asynchronous model (and indistinguishable from being very slow).
+
+    Crash–restart failures additionally respawn the crashed process on a
+    user-supplied {e recovery function} ([?recover]): the fiber's local
+    state is lost with the dropped continuation, but shared memory — which
+    belongs to the run, not the fiber — survives.  Each respawn is a new
+    {e incarnation} of the same pid. *)
 
 type step_info = { oid : int; obj_name : string; op : Event.mem_op }
 
@@ -26,15 +32,27 @@ type pstate =
   | Crashed
   | Failed of exn * Printexc.raw_backtrace
 
-type proc = { pid : int; mutable state : pstate; mutable steps : int }
+type proc = {
+  pid : int;
+  mutable state : pstate;
+  mutable steps : int;  (** across all incarnations *)
+  mutable incarnation : int;  (** 1 = initial body; +1 per restart *)
+}
+
+type recover = pid:int -> incarnation:int -> unit -> unit
 
 type t = {
   serial : int;  (** globally unique id of this run, for the sanitizer *)
   procs : proc array;
+  recover : recover option;
   mutable clock : int;  (** shared-memory steps executed so far *)
   mutable stamp : int;  (** strictly increasing event counter; bumped by
                             steps and by history marks, so operation
                             intervals order correctly across processes *)
+  mutable faults : int;  (** Crash + Restart decisions taken; bounded by
+                             [max_steps] so a crash/restart-only loop —
+                             which never advances the clock — still
+                             terminates *)
   mutable trace : Event.t list;  (** reversed *)
   record_trace : bool;
   max_steps : int;
@@ -51,6 +69,8 @@ type result = {
   clock : int;
   steps : int array;  (** per-pid executed steps *)
   crashed : int list;
+  incarnations : int array;  (** per-pid incarnation count (1 = never
+                                 restarted) *)
   trace : Event.t list;  (** in execution order *)
 }
 
@@ -59,7 +79,8 @@ type result = {
 let current : t option ref = ref None
 
 (* Never reused across runs, so a cell stamped with a run's serial can be
-   recognized as stale by any later run (Mem_sim's strict mode). *)
+   recognized as stale by any later run (Mem_sim's strict mode).  A restart
+   keeps the run's serial: shared memory survives the crash. *)
 let serial_counter = ref 0
 
 let current_serial () =
@@ -78,6 +99,9 @@ let mark () =
   t.stamp
 
 let steps_of pid = (get_current "Sim.steps_of").procs.(pid).steps
+
+let incarnation_of pid =
+  (get_current "Sim.incarnation_of").procs.(pid).incarnation
 
 let fresh_oid () =
   match !current with
@@ -118,7 +142,22 @@ let runnable_pids t =
   done;
   Array.of_list !l
 
-let run ?(record_trace = false) ?(max_steps = 50_000_000) ~sched procs =
+(* Restartable pids: only meaningful (and only exposed to the scheduler)
+   when the run has a recovery function. *)
+let crashed_pids t =
+  match t.recover with
+  | None -> [||]
+  | Some _ ->
+    let l = ref [] in
+    for pid = Array.length t.procs - 1 downto 0 do
+      match t.procs.(pid).state with
+      | Crashed -> l := pid :: !l
+      | Pending _ | Finished | Failed _ -> ()
+    done;
+    Array.of_list !l
+
+let run ?(record_trace = false) ?(max_steps = 50_000_000) ?recover ~sched
+    procs =
   (match !current with
   | Some _ -> failwith "Sim.run: nested simulations are not supported"
   | None -> ());
@@ -126,9 +165,14 @@ let run ?(record_trace = false) ?(max_steps = 50_000_000) ~sched procs =
   let t =
     {
       serial = !serial_counter;
-      procs = Array.mapi (fun pid _ -> { pid; state = Finished; steps = 0 }) procs;
+      procs =
+        Array.mapi
+          (fun pid _ -> { pid; state = Finished; steps = 0; incarnation = 1 })
+          procs;
+      recover;
       clock = 0;
       stamp = 0;
+      faults = 0;
       trace = [];
       record_trace;
       max_steps;
@@ -153,28 +197,77 @@ let run ?(record_trace = false) ?(max_steps = 50_000_000) ~sched procs =
       clock = t.clock;
       steps = Array.map (fun (p : proc) -> p.steps) t.procs;
       crashed = List.rev !crashed;
+      incarnations = Array.map (fun (p : proc) -> p.incarnation) t.procs;
       trace = List.rev t.trace;
     }
   in
+  let op_of pid =
+    match t.procs.(pid).state with
+    | Pending (_, info) -> Some info.op
+    | Finished | Crashed | Failed _ -> None
+  in
+  let steps_of pid = t.procs.(pid).steps in
   try
     (* Start every fiber: each runs its (step-free) local prefix and parks at
        its first shared access, or finishes without taking any step. *)
     Array.iteri (fun pid f -> start_fiber t.procs.(pid) f) procs;
     let rec loop () =
       let runnable = runnable_pids t in
-      if Array.length runnable = 0 then result Completed
+      let restartable = crashed_pids t in
+      (* The run is over only when nothing can ever take a step again: no
+         fiber is parked at an access AND no crashed pid is restartable.
+         With restartable pids left the scheduler is still consulted — it
+         may [Restart] one of them (possibly with an empty runnable set: a
+         fully-crashed system rebooting) or [Stop], which with no runnable
+         pids is a completed run of the crash–restart model. *)
+      if Array.length runnable = 0 && Array.length restartable = 0 then
+        result Completed
       else if t.clock >= t.max_steps then raise (Out_of_steps t.clock)
       else
-        match Scheduler.pick sched ~runnable ~clock:t.clock with
-        | Scheduler.Stop -> result (Stopped runnable)
+        let view =
+          {
+            Scheduler.runnable;
+            crashed = restartable;
+            clock = t.clock;
+            op_of;
+            steps_of;
+          }
+        in
+        match Scheduler.pick sched view with
+        | Scheduler.Stop ->
+          result
+            (if Array.length runnable = 0 then Completed
+             else Stopped runnable)
         | Scheduler.Crash pid ->
           let p = t.procs.(pid) in
           (match p.state with
           | Pending _ -> p.state <- Crashed
           | _ -> failwith "Sim.run: crash of non-runnable process");
+          t.faults <- t.faults + 1;
+          if t.faults > t.max_steps then raise (Out_of_steps t.clock);
           crashed := pid :: !crashed;
           if t.record_trace then
             t.trace <- Event.Crash { pid; clock = t.clock } :: t.trace;
+          loop ()
+        | Scheduler.Restart pid ->
+          let p = t.procs.(pid) in
+          (match p.state, t.recover with
+          | Crashed, Some recover ->
+            p.incarnation <- p.incarnation + 1;
+            t.faults <- t.faults + 1;
+            if t.faults > t.max_steps then raise (Out_of_steps t.clock);
+            if t.record_trace then
+              t.trace <-
+                Event.Restart
+                  { pid; incarnation = p.incarnation; clock = t.clock }
+                :: t.trace;
+            (* The recovery body starts from scratch — all local state died
+               with the dropped continuation — and parks at its first shared
+               access (or finishes without one). *)
+            start_fiber p (recover ~pid ~incarnation:p.incarnation)
+          | Crashed, None ->
+            failwith "Sim.run: restart without a recovery function"
+          | _ -> failwith "Sim.run: restart of a non-crashed process");
           loop ()
         | Scheduler.Run pid ->
           let p = t.procs.(pid) in
@@ -201,5 +294,7 @@ let run ?(record_trace = false) ?(max_steps = 50_000_000) ~sched procs =
     in
     loop ()
   with e ->
+    (* Preserve the failure's backtrace across the cleanup. *)
+    let bt = Printexc.get_raw_backtrace () in
     finish ();
-    raise e
+    Printexc.raise_with_backtrace e bt

@@ -12,6 +12,11 @@
     process simply stops taking steps, which is precisely a crash in the
     asynchronous model (and indistinguishable from being very slow).
 
+    Crash–restart failures ([?recover]) additionally respawn a crashed pid
+    on a user-supplied recovery function: local state is lost with the
+    dropped continuation, shared memory survives.  Each respawn is a new
+    {e incarnation} of the pid (the initial body is incarnation 1).
+
     The simulator is strictly single-threaded and deterministic given the
     scheduler: the same seed replays the same execution. *)
 
@@ -21,7 +26,10 @@ type _ Effect.t += Step : step_info -> unit Effect.t
 
 exception Out_of_steps of int
 (** Raised when a run exceeds its step budget: some process is looping on
-    shared accesses — a wait-freedom violation (or a budget set too low). *)
+    shared accesses — a wait-freedom violation (or a budget set too low).
+    Also raised when the {e fault} count (crash + restart decisions, which
+    do not advance the clock) exceeds the budget, so a crash–restart-only
+    loop still terminates. *)
 
 type outcome =
   | Completed
@@ -32,19 +40,31 @@ type outcome =
 type result = {
   outcome : outcome;
   clock : int;  (** total shared-memory steps executed *)
-  steps : int array;  (** per-pid executed steps *)
-  crashed : int list;  (** pids killed by the scheduler, in kill order *)
+  steps : int array;  (** per-pid executed steps, summed over incarnations *)
+  crashed : int list;
+      (** pids killed by the scheduler, in kill order; a pid killed in
+          several incarnations appears once per kill *)
+  incarnations : int array;
+      (** per-pid incarnation count; 1 = never restarted *)
   trace : Event.t list;  (** execution-ordered; empty unless
                              [record_trace] *)
 }
 
+type recover = pid:int -> incarnation:int -> unit -> unit
+(** [recover ~pid ~incarnation] builds the body a restarted process runs.
+    It must rebuild every piece of local state from shared memory (or
+    discard it): the previous incarnation's continuation is gone. *)
+
 (** [run ~sched procs] starts one fiber per element of [procs] and drives
-    them to completion (or crash) under [sched].  Exceptions raised inside
-    a fiber are re-raised here.  At most one simulation may run at a time
-    (no nesting). *)
+    them to completion (or crash) under [sched].  With [?recover], crashed
+    pids become eligible for {!Scheduler.Restart} decisions and respawn on
+    [recover]; without it, crashes are permanent and restart decisions are
+    an error.  Exceptions raised inside a fiber are re-raised here.  At
+    most one simulation may run at a time (no nesting). *)
 val run :
   ?record_trace:bool ->
   ?max_steps:int ->
+  ?recover:recover ->
   sched:Scheduler.t ->
   (unit -> unit) array ->
   result
@@ -59,8 +79,11 @@ val clock : unit -> int
     across processes.  Used by {!Metrics} and history recorders. *)
 val mark : unit -> int
 
-(** Steps executed so far by process [pid]. *)
+(** Steps executed so far by process [pid], across all its incarnations. *)
 val steps_of : int -> int
+
+(** Current incarnation of process [pid] (1 = initial body). *)
+val incarnation_of : int -> int
 
 (** {2 Used by the memory backend} *)
 
@@ -74,5 +97,7 @@ val fresh_oid : unit -> int
 
 (** Globally unique id of the currently executing run, or [None] outside
     any run.  Serials are never reused, so {!Mem_sim}'s strict mode can
-    tell a cell born in an earlier run from one of the current run. *)
+    tell a cell born in an earlier run from one of the current run.
+    Restarted incarnations keep the run's serial: shared memory survives
+    crashes. *)
 val current_serial : unit -> int option

@@ -12,7 +12,8 @@ end)
 
 let steps (trace : Event.t list) =
   List.filter_map
-    (function Event.Step _ as e -> Some e | Event.Crash _ -> None)
+    (function
+      | Event.Step _ as e -> Some e | Event.Crash _ | Event.Restart _ -> None)
     trace
 
 let bump key m = Int_map.update key (fun n -> Some (1 + Option.value ~default:0 n)) m
@@ -21,7 +22,7 @@ let steps_by_pid trace =
   List.fold_left
     (fun m -> function
       | Event.Step { pid; _ } -> bump pid m
-      | Event.Crash _ -> m)
+      | Event.Crash _ | Event.Restart _ -> m)
     Int_map.empty trace
   |> Int_map.bindings
 
@@ -32,7 +33,7 @@ let steps_by_object trace =
         Obj_map.update (oid, obj_name)
           (fun n -> Some (1 + Option.value ~default:0 n))
           m
-      | Event.Crash _ -> m)
+      | Event.Crash _ | Event.Restart _ -> m)
     Obj_map.empty trace
   |> Obj_map.bindings
   |> List.map (fun ((oid, name), n) -> (oid, name, n))
@@ -46,13 +47,30 @@ let context_switches trace =
     | [] -> n
     | Event.Step { pid; _ } :: rest ->
       go (Some pid) (match last with Some p when p <> pid -> n + 1 | _ -> n) rest
-    | Event.Crash _ :: rest -> go last n rest
+    | (Event.Crash _ | Event.Restart _) :: rest -> go last n rest
   in
   go None 0 trace
 
 let crashes trace =
   List.filter_map
-    (function Event.Crash { pid; _ } -> Some pid | Event.Step _ -> None)
+    (function
+      | Event.Crash { pid; _ } -> Some pid
+      | Event.Step _ | Event.Restart _ -> None)
+    trace
+
+let restarts trace =
+  List.filter_map
+    (function
+      | Event.Restart { pid; _ } -> Some pid
+      | Event.Step _ | Event.Crash _ -> None)
+    trace
+
+let schedule trace =
+  List.map
+    (function
+      | Event.Step { pid; _ } -> Scheduler.Run pid
+      | Event.Crash { pid; _ } -> Scheduler.Crash pid
+      | Event.Restart { pid; _ } -> Scheduler.Restart pid)
     trace
 
 let pp ppf trace = List.iter (Fmt.pf ppf "%a@." Event.pp) trace

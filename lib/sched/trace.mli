@@ -23,5 +23,14 @@ val context_switches : Event.t list -> int
 (** Pids of crash events, in execution order. *)
 val crashes : Event.t list -> int list
 
+(** Pids of restart events, in execution order. *)
+val restarts : Event.t list -> int list
+
+(** The scheduler decision sequence that reproduces the trace: one
+    [Run]/[Crash]/[Restart] per event.  Feeding it to
+    [Scheduler.replay_decisions] replays the execution exactly; it is also
+    the input format of the {!Shrink} minimizer. *)
+val schedule : Event.t list -> Scheduler.decision list
+
 (** One line per event. *)
 val pp : Format.formatter -> Event.t list -> unit

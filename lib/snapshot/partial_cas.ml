@@ -67,7 +67,20 @@ module Make_repr
     let result, _ = C.scan_per_location h.t.regs args in
     let view = C.to_view result in
     let desired = { C.v; view; tag = Tag.W { pid = h.pid; seq = h.seq } } in
-    if M.cas h.t.regs.(i) ~expected:old ~desired then h.seq <- h.seq + 1
+    (* On a machine whose CAS may fail spuriously (LL/SC-style weak CAS), a
+       failure is not proof of a conflicting write — treating it as one
+       silently drops the update, a real linearizability violation.  Retry
+       while the location is physically unchanged: the CAS then still
+       installs against the value [old] this update read, so the
+       per-location borrowing rule's accounting ("a third value's updater
+       read the second") is untouched.  Under a strong CAS the re-read
+       never matches after a failure and the loop exits on the first
+       iteration, as in the pseudocode. *)
+    let[@psnap.helping] rec install () =
+      if M.cas h.t.regs.(i) ~expected:old ~desired then h.seq <- h.seq + 1
+      else if M.read h.t.regs.(i) == old then install ()
+    in
+    install ()
 
   let scan h idxs =
     let sorted = Array.of_list (List.sort_uniq compare (Array.to_list idxs)) in

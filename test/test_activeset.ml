@@ -303,8 +303,8 @@ let test_fai_midjoin_race () =
      phase 1: p1 runs its first getSet to completion;
      phase 2: p0 completes its join;
      phase 3: p1 runs its second getSet. *)
-  let pick ~runnable ~clock:_ =
-    let has p = Array.exists (fun q -> q = p) runnable in
+  let pick (view : Scheduler.view) =
+    let has p = Array.exists (fun q -> q = p) view.Scheduler.runnable in
     if (not !g1_done) && Sim.steps_of 0 < 1 && has 0 then Scheduler.Run 0
     else if (not !g1_done) && has 1 then Scheduler.Run 1
     else if has 0 then Scheduler.Run 0

@@ -70,7 +70,8 @@ let trace_signature res =
   List.map
     (function
       | Event.Step { pid; op; clock; _ } -> (pid, op, clock)
-      | Event.Crash { pid; clock } -> (pid, Event.Read, -clock))
+      | Event.Crash { pid; clock } -> (pid, Event.Read, -clock)
+      | Event.Restart { pid; clock; _ } -> (pid, Event.Write, -clock))
     res.Sim.trace
 
 let test_random_deterministic () =

@@ -223,7 +223,8 @@ let test_nonblocking_diverges_where_fig3_terminates () =
     (* alternate: one full update, then r scanner steps (one collect) *)
     let target = ref None in
     let budget = ref 0 in
-    let pick ~runnable ~clock:_ =
+    let pick (view : Scheduler.view) =
+      let runnable = view.Scheduler.runnable in
       let mem p = Array.exists (fun q -> q = p) runnable in
       let rec go guard =
         if guard = 0 then Scheduler.Run runnable.(0)
