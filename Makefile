@@ -19,19 +19,46 @@ examples:
 	          aggregate_board readonly_transactions consensus; do \
 	  echo "== examples/$$e =="; dune exec examples/$$e.exe; echo; done
 
+# Campaign outputs (JSON metrics, shrunk witness schedules) land in the
+# gitignored _artifacts/ directory; CI uploads it wholesale.
+ARTIFACTS := _artifacts
+
 # Fault-injection campaign (E14): seeded chaos / crash-storm nemeses over
 # Figures 1 and 3 with the observation checker on; each run writes a JSON
 # metrics summary (uploaded as a CI artifact).  Budgeted well under 60 s.
 chaos:
 	dune build bin/simulate.exe
+	mkdir -p $(ARTIFACTS)
 	dune exec bin/simulate.exe -- --impl fig1 --nemesis chaos --seeds 40 \
-	  --check --json chaos-fig1.json
+	  --check --json $(ARTIFACTS)/chaos-fig1.json
 	dune exec bin/simulate.exe -- --impl fig3 --nemesis chaos --seeds 40 \
-	  --check --json chaos-fig3.json
+	  --check --json $(ARTIFACTS)/chaos-fig3.json
 	dune exec bin/simulate.exe -- --impl fig3 --nemesis storm --seeds 40 \
-	  --check --json chaos-fig3-storm.json
+	  --check --json $(ARTIFACTS)/chaos-fig3-storm.json
 	dune exec bin/simulate.exe -- --impl fig3 --nemesis crash-restart \
-	  --seeds 10 --check --json chaos-fig3-cr.json
+	  --seeds 10 --check --json $(ARTIFACTS)/chaos-fig3-cr.json
+
+# Memory-fault campaign (E15, docs/MODEL.md §9): raw Figure 3 must break
+# under seeded corruption (the shrunk witness is saved; the committed
+# reference witness lives in schedules/), and the same algorithms functored
+# over hardened registers must pass the identical storm.  CHAOS_MEM_SEED
+# lets CI sweep seeds.
+CHAOS_MEM_SEED ?= 0
+chaos-mem:
+	dune build bin/simulate.exe
+	mkdir -p $(ARTIFACTS)
+	dune exec bin/simulate.exe -- --impl fig3 --mem-faults corrupt \
+	  --mem-rate 0.05 --mem-max 12 --seed $(CHAOS_MEM_SEED) --seeds 20 \
+	  --check --expect-violations --shrink \
+	  --replay-file $(ARTIFACTS)/e15-fig3-corrupt-$(CHAOS_MEM_SEED).sched \
+	  --json $(ARTIFACTS)/chaos-mem-fig3-raw-$(CHAOS_MEM_SEED).json
+	dune exec bin/simulate.exe -- --impl fig3-hardened --mem-faults corrupt \
+	  --mem-rate 0.05 --mem-max 12 --seed $(CHAOS_MEM_SEED) --seeds 20 \
+	  --check --json $(ARTIFACTS)/chaos-mem-fig3-hardened-$(CHAOS_MEM_SEED).json
+	dune exec bin/simulate.exe -- --impl fig1-hardened \
+	  --mem-faults corrupt,stale,lose --mem-rate 0.03 --mem-max 8 \
+	  --seed $(CHAOS_MEM_SEED) --seeds 10 \
+	  --check --json $(ARTIFACTS)/chaos-mem-fig1-hardened-$(CHAOS_MEM_SEED).json
 
 # The artifacts referenced by EXPERIMENTS.md.
 pin-outputs:
@@ -40,5 +67,6 @@ pin-outputs:
 
 clean:
 	dune clean
+	rm -rf $(ARTIFACTS)
 
-.PHONY: all test lint bench chaos examples pin-outputs clean
+.PHONY: all test lint bench chaos chaos-mem examples pin-outputs clean

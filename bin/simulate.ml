@@ -30,6 +30,9 @@ let impls : (string * (module Snapshot.S)) list =
     ("fig3-bounded-aset", (module Sim_fig3_bounded_aset));
     ("farray", (module Sim_farray));
     ("nonblocking", (module Sim_nonblocking));
+    ("fig1-hardened", (module Sim_fig1_hardened));
+    ("fig3-hardened", (module Sim_fig3_hardened));
+    ("fig3-selfcheck", (module Sim_fig3_selfcheck));
   ]
 
 let scheds = [ "random"; "bursty"; "starve"; "pct"; "round-robin" ]
@@ -62,6 +65,26 @@ let nemesis_of name ~seed base =
       (String.concat ", " nemeses);
     exit 2
 
+(* "corrupt", "lose,stale", "all" -> fault kinds for the mem_storm nemesis;
+   "none"/"" -> no memory faults. *)
+let mem_kinds_of s =
+  match s with
+  | "" | "none" -> None
+  | "all" -> Some Event.all_fault_kinds
+  | s ->
+    Some
+      (String.split_on_char ',' s
+      |> List.map (fun tok ->
+             let tok = String.trim tok in
+             match Event.fault_kind_of_string tok with
+             | Some k -> k
+             | None ->
+               Printf.eprintf
+                 "unknown fault kind %S (choose from: lose, stale, corrupt, \
+                  stick, all)\n"
+                 tok;
+               exit 2))
+
 let write_json path fields =
   let oc = open_out path in
   Fun.protect
@@ -76,7 +99,15 @@ let write_json path fields =
       output_string oc "}\n")
 
 let run impl_name m r updaters updates scanners scans sched_name seed_base
-    seeds check crash_at nemesis_name shrink replay_file json_file =
+    seeds check crash_at nemesis_name mem_faults_arg mem_rate mem_max
+    expect_violations shrink replay_file json_file =
+  let mem_kinds = mem_kinds_of mem_faults_arg in
+  (* Cells must be registered as fault targets before the workload is
+     built; tracking also enables the per-cell history Stale_read draws
+     on.  Unconditional: replayed schedule files may contain fault
+     decisions even when --mem-faults is off. *)
+  Mem.Sim.set_fault_tracking true;
+  Metrics.reset_mem_faults ();
   let (module S : Snapshot.S) =
     match List.assoc_opt impl_name impls with
     | Some m -> m
@@ -107,6 +138,11 @@ let run impl_name m r updaters updates scanners scans sched_name seed_base
   let run_once ~record_trace ~sched =
     let rec_ = Metrics.create () in
     let hist = History.create ~now:Sim.mark () in
+    (* Cells allocated by [create] (outside the run) get prerun oids; reset
+       the counter so they are the same on every execution of the workload —
+       memory-fault schedules target cells by oid, so replay and shrinking
+       need oids to be a pure function of the workload. *)
+    Sim.reset_prerun_oids ();
     let t = S.create ~n (Array.copy init) in
     let updater ~incarnation pid () =
       let h = S.handle t ~pid in
@@ -194,18 +230,35 @@ let run impl_name m r updaters updates scanners scans sched_name seed_base
         let base = sched_of sched_name ~scanner_pids ~seed in
         let sched =
           let w = nemesis_of nemesis_name ~seed base in
+          let w =
+            match mem_kinds with
+            | Some kinds ->
+              Scheduler.mem_storm ~seed ~kinds ~rate:mem_rate
+                ~max_faults:mem_max w
+            | None -> w
+          in
           match crash_at with
           | Some at_clock -> Scheduler.with_crash ~pid:0 ~at_clock w
           | None -> w
         in
         let record_trace = shrink in
-        let res, viols, smpls = run_once ~record_trace ~sched in
-        account res viols smpls;
-        if viols <> [] && !failing_schedule = None then begin
-          Printf.printf "seed %d: %d violations\n" seed (List.length viols);
-          if shrink then
-            failing_schedule := Some (Trace.schedule res.trace)
-        end
+        (* A corrupted value can crash the harness outright (out-of-range
+           index, never-written payload): under --mem-faults that is a
+           failure of the implementation, not of the driver — count it and
+           keep scanning seeds (the trace died with the run, so only
+           exception-free failing seeds feed the shrinker). *)
+        (match run_once ~record_trace ~sched with
+        | res, viols, smpls ->
+          account res viols smpls;
+          if viols <> [] && !failing_schedule = None then begin
+            Printf.printf "seed %d: %d violations\n" seed (List.length viols);
+            if shrink then
+              failing_schedule := Some (Trace.schedule res.trace)
+          end
+        | exception e when mem_kinds <> None ->
+          incr violations;
+          Printf.printf "seed %d: harness crash: %s\n" seed
+            (Printexc.to_string e))
       done;
       seeds
   in
@@ -253,7 +306,11 @@ let run impl_name m r updaters updates scanners scans sched_name seed_base
        ~title:
          (Printf.sprintf "%s: m=%d r=%d %d updaters x %d, %d scanners x %d, %s, %d runs%s%s"
             S.name m r updaters updates scanners scans sched_name runs
-            (if faults then ", nemesis " ^ nemesis_name else "")
+            ((if faults then ", nemesis " ^ nemesis_name else "")
+            ^
+            match mem_kinds with
+            | Some _ -> ", mem-faults " ^ mem_faults_arg
+            | None -> "")
             (match crash_at with
             | Some c -> Printf.sprintf ", crash p0@%d" c
             | None -> ""))
@@ -263,6 +320,14 @@ let run impl_name m r updaters updates scanners scans sched_name seed_base
   if faults || replaying then
     Printf.printf "faults: %d crashes, %d restarts\n" !total_crashes
       !total_restarts;
+  let mf = Metrics.mem_faults () in
+  let hardened_stats = mf.Metrics.hardened in
+  if
+    mem_kinds <> None
+    || Metrics.total_injected mf > 0
+    || Metrics.total_detected mf > 0
+    || hardened_stats.Mem.Hardened.repairs > 0
+  then Fmt.pr "%a@." Metrics.pp_mem_faults mf;
   let cu =
     List.fold_left
       (fun acc per_run ->
@@ -286,13 +351,28 @@ let run impl_name m r updaters updates scanners scans sched_name seed_base
           ("crashes", string_of_int !total_crashes);
           ("restarts", string_of_int !total_restarts);
           ("violations", string_of_int !violations);
+          ("mem_faults_injected", string_of_int (Metrics.total_injected mf));
+          ("mem_faults_detected", string_of_int (Metrics.total_detected mf));
+          ( "hardened_repairs",
+            string_of_int hardened_stats.Mem.Hardened.repairs );
           ( "shrunk_schedule_len",
             match shrunk_len with Some l -> string_of_int l | None -> "null" );
         ];
       Printf.printf "json summary written to %s\n" path)
     json_file;
   if check then
-    if !violations = 0 then
+    if expect_violations then
+      if !violations > 0 then
+        Printf.printf
+          "checker: %d violations (expected: raw registers under memory \
+           faults)\n"
+          !violations
+      else begin
+        Printf.printf
+          "checker: NO violations, but --expect-violations was given\n";
+        exit 1
+      end
+    else if !violations = 0 then
       Printf.printf "checker: all %d executions linearizable (observation check)\n" runs
     else begin
       Printf.printf "checker: %d VIOLATIONS\n" !violations;
@@ -357,6 +437,38 @@ let nemesis =
               state from scratch."
              (String.concat ", " nemeses)))
 
+let mem_faults_arg =
+  Arg.(
+    value & opt string "none"
+    & info [ "mem-faults" ] ~docv:"KINDS"
+        ~doc:
+          "Memory-fault storm over the base scheduler: comma-separated \
+           fault kinds from lose (silently dropped writes), stale \
+           (superseded values served once), corrupt (stored value garbled), \
+           stick (cell stops accepting writes); or $(b,all).  Composable \
+           with $(b,--nemesis) and $(b,--shrink).")
+
+let mem_rate =
+  Arg.(
+    value & opt float 0.02
+    & info [ "mem-rate" ] ~docv:"P"
+        ~doc:"Per-decision-point injection probability for --mem-faults.")
+
+let mem_max =
+  Arg.(
+    value & opt int 8
+    & info [ "mem-max" ] ~docv:"N"
+        ~doc:"Maximum memory faults injected per run.")
+
+let expect_violations =
+  Arg.(
+    value & flag
+    & info [ "expect-violations" ]
+        ~doc:
+          "Invert the $(b,--check) exit status: succeed only if at least \
+           one checker violation occurred (used to demonstrate that raw \
+           registers break under memory faults).")
+
 let shrink =
   Arg.(
     value & flag
@@ -388,7 +500,8 @@ let cmd =
     (Cmd.info "simulate" ~doc:"drive partial snapshot workloads in the simulator")
     Term.(
       const run $ impl $ m $ r $ updaters $ updates $ scanners $ scans $ sched
-      $ seed_base $ seeds $ check $ crash_at $ nemesis $ shrink $ replay_file
+      $ seed_base $ seeds $ check $ crash_at $ nemesis $ mem_faults_arg
+      $ mem_rate $ mem_max $ expect_violations $ shrink $ replay_file
       $ json_file)
 
 let () = exit (Cmd.eval' cmd)

@@ -26,6 +26,23 @@ module Mem = struct
   module Atomic = Psnap_mem.Mem_atomic
   module Sim = Psnap_sched.Mem_sim
   module Infinite_array = Psnap_mem.Infinite_array
+
+  (** Fault-hardened memories (docs/MODEL.md §9): functors wrapping any
+      backend in self-validating / replicated registers. *)
+  module Hardened = Psnap_mem.Hardened
+
+  (** Simulator backend wrapped in single-cell self-validation: detects
+      [Corrupt]/[Stale_read]/[Lost_write]; cannot survive [Stuck_cell]. *)
+  module Sim_selfcheck = Psnap_mem.Hardened.Selfcheck (Psnap_sched.Mem_sim)
+
+  (** Simulator backend behind 3-fold replication: tolerates one faulty
+      replica per cell, including a permanently stuck one. *)
+  module Sim_replicated =
+    Psnap_mem.Hardened.Replicated
+      (Psnap_sched.Mem_sim)
+      (struct
+        let k = 3
+      end)
 end
 
 (** Simulation kernel: the asynchronous shared-memory machine. *)
@@ -148,6 +165,36 @@ module Sim_fig3_small =
     active set instead of Figure 2's. *)
 module Sim_fig3_bounded_aset =
   Psnap_snapshot.Partial_cas.Make (Mem.Sim) (Sim_aset_bounded)
+
+(* ---- Hardened instances: the same algorithms over fault-tolerant
+   registers (docs/MODEL.md §9, EXPERIMENTS.md E15).  Logical step counts
+   are unchanged; each logical access costs several simulator steps. ---- *)
+
+module Sim_aset_fai_hardened =
+  Psnap_activeset.Fai_cas.Make (Mem.Sim_replicated)
+
+module Sim_aset_bounded_hardened =
+  Psnap_activeset.Bounded.Make (Mem.Sim_replicated)
+
+(** Figure 3 over 3-fold replicated registers: survives seeded memory-fault
+    storms that produce non-linearizable histories on {!Sim_fig3}. *)
+module Sim_fig3_hardened =
+  Psnap_snapshot.Partial_cas.Make (Mem.Sim_replicated) (Sim_aset_fai_hardened)
+
+(** Figure 1 over 3-fold replicated registers. *)
+module Sim_fig1_hardened =
+  Psnap_snapshot.Partial_register.Make
+    (Mem.Sim_replicated)
+    (Sim_aset_bounded_hardened)
+
+module Sim_aset_fai_selfcheck =
+  Psnap_activeset.Fai_cas.Make (Mem.Sim_selfcheck)
+
+(** Figure 3 over single-cell self-validating registers: detects and
+    repairs corruption without replication (but cannot survive stuck
+    cells). *)
+module Sim_fig3_selfcheck =
+  Psnap_snapshot.Partial_cas.Make (Mem.Sim_selfcheck) (Sim_aset_fai_selfcheck)
 
 (* ---- Pre-applied instances: multicore (Atomic) backend ---- *)
 

@@ -1,0 +1,30 @@
+(** The unbounded register array I[1..] of the active set algorithm
+    (Figure 2).  The paper simply assumes an infinite array; a real shared
+    memory provides one as a directory of chunks installed on demand with
+    compare&swap.
+
+    Chunks double in size, so the directory is a small fixed array and the
+    translation from index to chunk is local.  A slot access costs O(1)
+    extra steps (one directory read); installing a chunk costs one extra
+    CAS, charged to the join that triggers it. *)
+
+module Make (M : Mem_intf.S) : sig
+  type 'a t
+
+  (** [create ?name default] — an array whose every slot initially holds
+      [default].  Allocates only the directory; chunks are installed on
+      first access. *)
+  val create : ?name:string -> 'a -> 'a t
+
+  (** [read t i] — the current value of slot [i] ([i >= 0]).
+      @raise Invalid_argument on a negative index. *)
+  val read : 'a t -> int -> 'a
+
+  (** [write t i v] — store [v] in slot [i] ([i >= 0]).
+      @raise Invalid_argument on a negative index. *)
+  val write : 'a t -> int -> 'a -> unit
+
+  (** The base cell behind slot [i], for algorithms that CAS slots
+      directly.  Installs the covering chunk if needed. *)
+  val cell : 'a t -> int -> 'a M.ref_
+end

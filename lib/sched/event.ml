@@ -2,12 +2,28 @@
 
 type mem_op = Read | Write | Cas | Faa
 
+(** Memory-fault kinds (docs/MODEL.md §9).  Faults are scheduler decisions:
+    they target a base cell by oid, are charged to the run's fault budget,
+    appear in traces, and replay/shrink exactly like crashes. *)
+type fault_kind =
+  | Lost_write  (** the cell's next write/CAS/F&A silently no-ops (the CAS
+                    still reports success: an acknowledged-but-lost update) *)
+  | Stale_read  (** the cell's next read returns the most recently
+                    superseded value from its history *)
+  | Corrupt  (** the cell's value is replaced, immediately, by a garbled
+                 variant (deterministic bit-flip of an immediate, or an
+                 older value from the cell's history) *)
+  | Stuck_cell  (** the cell permanently stops accepting writes: writes and
+                    F&A adds are dropped, CAS always fails *)
+
 type t =
   | Step of { pid : int; oid : int; obj_name : string; op : mem_op; clock : int }
   | Crash of { pid : int; clock : int }
   | Restart of { pid : int; incarnation : int; clock : int }
       (** the pid respawned on its recovery function; [incarnation] counts
           from 2 (the initial body is incarnation 1) *)
+  | Mem_fault of { kind : fault_kind; oid : int; clock : int }
+      (** a memory fault was injected into cell [oid] *)
 
 let pp_mem_op ppf = function
   | Read -> Fmt.string ppf "read"
@@ -15,9 +31,29 @@ let pp_mem_op ppf = function
   | Cas -> Fmt.string ppf "cas"
   | Faa -> Fmt.string ppf "f&a"
 
+let all_fault_kinds = [ Lost_write; Stale_read; Corrupt; Stuck_cell ]
+
+(* The verbs double as the schedule-file syntax ("corrupt 5"). *)
+let fault_kind_to_string = function
+  | Lost_write -> "lose"
+  | Stale_read -> "stale"
+  | Corrupt -> "corrupt"
+  | Stuck_cell -> "stick"
+
+let fault_kind_of_string = function
+  | "lose" -> Some Lost_write
+  | "stale" -> Some Stale_read
+  | "corrupt" -> Some Corrupt
+  | "stick" -> Some Stuck_cell
+  | _ -> None
+
+let pp_fault_kind ppf k = Fmt.string ppf (fault_kind_to_string k)
+
 let pp ppf = function
   | Step { pid; oid; obj_name; op; clock } ->
     Fmt.pf ppf "%6d p%d %a %s#%d" clock pid pp_mem_op op obj_name oid
   | Crash { pid; clock } -> Fmt.pf ppf "%6d p%d CRASH" clock pid
   | Restart { pid; incarnation; clock } ->
     Fmt.pf ppf "%6d p%d RESTART (incarnation %d)" clock pid incarnation
+  | Mem_fault { kind; oid; clock } ->
+    Fmt.pf ppf "%6d MEM-FAULT %a cell#%d" clock pp_fault_kind kind oid

@@ -12,6 +12,12 @@ type 'a ref_ = {
   oid : int;
   name : string;
   born : int;  (** serial of the run that allocated the cell; -1 outside *)
+  mutable hist : 'a list;
+      (** superseded values, newest first, capped at {!history_depth}; the
+          material [Stale_read] and history-swap [Corrupt] faults draw on *)
+  mutable lose_next : int;  (** pending [Lost_write] faults on this cell *)
+  mutable stale_next : int;  (** pending [Stale_read] faults on this cell *)
+  mutable stuck : bool;  (** [Stuck_cell]: permanently refuses writes *)
 }
 
 (* Base objects allocated since the last reset — the space measure of the
@@ -71,24 +77,195 @@ let guard r op =
           op r.name r.oid r.born serial
   end
 
+(* ---- memory faults (docs/MODEL.md §9) ----
+
+   Fault decisions arrive from the scheduler through [Sim]'s dispatcher;
+   the typed cells live here, so this module owns both the application of a
+   fault to a cell and the per-kind accounting.  [Corrupt] and [Stuck_cell]
+   take effect at decision time; [Lost_write] and [Stale_read] are {e
+   armed} at decision time and {e fire} at the cell's next matching access.
+   Every effect is a deterministic function of the cell's state, so a
+   recorded fault schedule replays (and ddmin-shrinks) exactly. *)
+
+let history_depth = 8
+
+(* Forward declaration of the tracking flag so the hot write path can skip
+   history capture entirely when fault injection is off. *)
+let tracking = ref false
+
+let push_hist r ~next =
+  if !tracking && next != r.v then
+    r.hist <-
+      r.v :: List.filteri (fun i _ -> i < history_depth - 1) r.hist
+
+(* A garbled-but-typed variant of [v]: immediates get their lowest bit
+   flipped (stays in constructor range for small variants, changes any int
+   payload); regular boxed blocks are duplicated with the first immediate
+   field bit-flipped (breaking any checksum over the contents); values we
+   cannot safely garble (closures, custom blocks, flat float records,
+   field-free blocks) fall back to an older value from the cell's history.
+   Returns [None] when no corrupting value exists at all. *)
+let corrupted_variant (type a) (v : a) (hist : a list) : a option =
+  let from_history () = List.find_opt (fun o -> o != v) hist in
+  let r = Obj.repr v in
+  if Obj.is_int r then Some (Obj.obj (Obj.repr ((Obj.obj r : int) lxor 1)))
+  else
+    let tag = Obj.tag r in
+    if
+      tag < Obj.no_scan_tag && tag <> Obj.closure_tag
+      && tag <> Obj.object_tag && tag <> Obj.lazy_tag
+      && tag <> Obj.forward_tag && tag <> Obj.infix_tag
+    then begin
+      let d = Obj.dup r in
+      let n = Obj.size d in
+      let rec flip i =
+        if i >= n then None
+        else
+          let f = Obj.field d i in
+          if Obj.is_int f then begin
+            Obj.set_field d i (Obj.repr ((Obj.obj f : int) lxor 1));
+            Some (Obj.obj d : a)
+          end
+          else flip (i + 1)
+      in
+      match flip 0 with Some _ as res -> res | None -> from_history ()
+    end
+    else from_history ()
+
+type fault_counters = {
+  injected : int;  (** decisions that armed or applied a fault *)
+  absorbed : int;  (** decisions with no possible effect (unknown cell,
+                       nothing to corrupt, already stuck, empty history) *)
+  fired : int;  (** armed faults consumed by an access ([Lost_write] /
+                    [Stale_read]), plus every write dropped by a stuck
+                    cell; equals [injected] for [Corrupt] *)
+}
+
+let zero_counters = { injected = 0; absorbed = 0; fired = 0 }
+
+let counters : (Event.fault_kind, fault_counters) Hashtbl.t = Hashtbl.create 4
+
+let counters_for kind =
+  Option.value (Hashtbl.find_opt counters kind) ~default:zero_counters
+
+let bump kind f = Hashtbl.replace counters kind (f (counters_for kind))
+
+let note_injected kind = bump kind (fun c -> { c with injected = c.injected + 1 })
+
+let note_absorbed kind = bump kind (fun c -> { c with absorbed = c.absorbed + 1 })
+
+let note_fired kind = bump kind (fun c -> { c with fired = c.fired + 1 })
+
+let fault_counts = counters_for
+
+let reset_fault_counts () = Hashtbl.reset counters
+
+(* Cell oid -> fault applier.  Registration is opt-in: the registry roots
+   every registered cell, so harnesses that construct millions of
+   workloads (exhaustive exploration) must not pay for fault injection
+   they never use.  With tracking on, oids restart per run (and per
+   workload via [Sim.reset_prerun_oids]), so [replace] keeps exactly one
+   applier per live oid; an entry left over from a dead run targets a
+   dead cell, whose mutation is unobservable. *)
+let registry : (int, Event.fault_kind -> bool) Hashtbl.t = Hashtbl.create 256
+
+let set_fault_tracking b =
+  tracking := b;
+  Hashtbl.reset registry
+
+let fault_tracking () = !tracking
+
+let apply_fault_to r kind =
+  match (kind : Event.fault_kind) with
+  | Corrupt -> (
+    match corrupted_variant r.v r.hist with
+    | Some v' ->
+      push_hist r ~next:v';
+      r.v <- v';
+      note_fired kind;
+      true
+    | None -> false)
+  | Stale_read ->
+    (* Armed only when the cell has a superseded value to serve; history
+       never shrinks, so the fault is guaranteed to be able to fire. *)
+    if r.hist <> [] then begin
+      r.stale_next <- r.stale_next + 1;
+      true
+    end
+    else false
+  | Lost_write ->
+    r.lose_next <- r.lose_next + 1;
+    true
+  | Stuck_cell ->
+    if r.stuck then false
+    else begin
+      r.stuck <- true;
+      true
+    end
+
+let dispatch kind oid =
+  if not !tracking then
+    failwith
+      "Mem_sim: memory-fault decision but fault tracking is off (call \
+       Mem_sim.set_fault_tracking true before building the workload)";
+  match Hashtbl.find_opt registry oid with
+  | None ->
+    note_absorbed kind;
+    false
+  | Some apply ->
+    if apply kind then begin
+      note_injected kind;
+      true
+    end
+    else begin
+      note_absorbed kind;
+      false
+    end
+
+let () = Sim.set_mem_fault_dispatcher dispatch
+
 let make ?(name = "r") v =
   incr allocated;
-  {
-    v;
-    oid = Sim.fresh_oid ();
-    name;
-    born = (match Sim.current_serial () with Some s -> s | None -> -1);
-  }
+  let r =
+    {
+      v;
+      oid = Sim.fresh_oid ();
+      name;
+      born = (match Sim.current_serial () with Some s -> s | None -> -1);
+      hist = [];
+      lose_next = 0;
+      stale_next = 0;
+      stuck = false;
+    }
+  in
+  if !tracking then Hashtbl.replace registry r.oid (apply_fault_to r);
+  r
 
 let read r =
   guard r "read";
   Sim.step { oid = r.oid; obj_name = r.name; op = Event.Read };
-  r.v
+  if r.stale_next > 0 then begin
+    r.stale_next <- r.stale_next - 1;
+    match r.hist with
+    | old :: _ ->
+      note_fired Event.Stale_read;
+      old
+    | [] -> r.v (* unreachable: armed only with non-empty history *)
+  end
+  else r.v
 
 let write r v =
   guard r "write";
   Sim.step { oid = r.oid; obj_name = r.name; op = Event.Write };
-  r.v <- v
+  if r.stuck then note_fired Event.Stuck_cell
+  else if r.lose_next > 0 then begin
+    r.lose_next <- r.lose_next - 1;
+    note_fired Event.Lost_write
+  end
+  else begin
+    push_hist r ~next:v;
+    r.v <- v
+  end
 
 (* Weak-CAS mode: seeded spurious failure, as on LL/SC machines (and the
    memory model of "weak compare-and-swap" in the C++/LLVM sense).  A
@@ -122,14 +299,38 @@ let cas r ~expected ~desired =
       true
     | _ -> false
   in
-  if (not spurious) && r.v == expected then (
-    r.v <- desired;
-    true)
+  if (not spurious) && r.v == expected then
+    if r.stuck then begin
+      (* A stuck cell never changes, so refusal is indistinguishable from a
+         lost race — the honest failure mode for CAS. *)
+      note_fired Event.Stuck_cell;
+      false
+    end
+    else if r.lose_next > 0 then begin
+      (* Acknowledged-but-lost: reports success without installing — the
+         nastiest form of a lost write. *)
+      r.lose_next <- r.lose_next - 1;
+      note_fired Event.Lost_write;
+      true
+    end
+    else begin
+      push_hist r ~next:desired;
+      r.v <- desired;
+      true
+    end
   else false
 
 let fetch_and_add r k =
   guard r "fetch_and_add";
   Sim.step { oid = r.oid; obj_name = r.name; op = Event.Faa };
   let old = r.v in
-  r.v <- old + k;
+  if r.stuck then note_fired Event.Stuck_cell
+  else if r.lose_next > 0 then begin
+    r.lose_next <- r.lose_next - 1;
+    note_fired Event.Lost_write
+  end
+  else begin
+    push_hist r ~next:(old + k);
+    r.v <- old + k
+  end;
   old

@@ -98,3 +98,58 @@ let reset_sanitizer = Mem_sim.reset_sanitizer
 let pp_sanitizer ppf s =
   Format.fprintf ppf "sanitizer: strict=%b checked=%d escaped=%d" s.strict
     s.checked s.escaped
+
+(** {2 Memory faults} *)
+
+type fault_line = {
+  kind : Event.fault_kind;
+  injected : int;
+  absorbed : int;
+  fired : int;
+}
+
+type mem_faults = {
+  per_kind : fault_line list;
+  hardened : Psnap_mem.Hardened.stats;
+}
+
+let mem_faults () =
+  {
+    per_kind =
+      List.map
+        (fun kind ->
+          let c = Mem_sim.fault_counts kind in
+          {
+            kind;
+            injected = c.Mem_sim.injected;
+            absorbed = c.Mem_sim.absorbed;
+            fired = c.Mem_sim.fired;
+          })
+        Event.all_fault_kinds;
+    hardened = Psnap_mem.Hardened.stats ();
+  }
+
+let reset_mem_faults () =
+  Mem_sim.reset_fault_counts ();
+  Psnap_mem.Hardened.reset_stats ()
+
+let total_injected m =
+  List.fold_left (fun a l -> a + l.injected) 0 m.per_kind
+
+let total_detected m =
+  let h = m.hardened in
+  h.Psnap_mem.Hardened.corrupt_detected + h.stale_detected + h.lost_detected
+
+let pp_mem_faults ppf m =
+  List.iter
+    (fun l ->
+      if l.injected + l.absorbed + l.fired > 0 then
+        Format.fprintf ppf "fault %-7s injected=%d absorbed=%d fired=%d@."
+          (Event.fault_kind_to_string l.kind)
+          l.injected l.absorbed l.fired)
+    m.per_kind;
+  let h = m.hardened in
+  Format.fprintf ppf
+    "hardened: corrupt=%d stale=%d lost=%d repairs=%d retries=%d"
+    h.Psnap_mem.Hardened.corrupt_detected h.stale_detected h.lost_detected
+    h.repairs h.retries

@@ -67,3 +67,37 @@ val sanitizer : unit -> sanitizer
 val reset_sanitizer : unit -> unit
 
 val pp_sanitizer : Format.formatter -> sanitizer -> unit
+
+(** {2 Memory faults}
+
+    Per-kind injection counters from the simulated memory
+    ({!Mem_sim.fault_counts}) together with the detection/repair counters
+    of the hardened registers ([Psnap_mem.Hardened.stats]) — the two sides
+    of a chaos campaign: what the nemesis did, and what the hardening
+    caught. *)
+
+type fault_line = {
+  kind : Event.fault_kind;
+  injected : int;  (** decisions that armed or applied a fault *)
+  absorbed : int;  (** decisions with no possible effect *)
+  fired : int;  (** armed faults consumed by an access *)
+}
+
+type mem_faults = {
+  per_kind : fault_line list;  (** one line per kind, in
+                                   {!Event.all_fault_kinds} order *)
+  hardened : Psnap_mem.Hardened.stats;
+}
+
+val mem_faults : unit -> mem_faults
+
+val reset_mem_faults : unit -> unit
+
+(** Total fault decisions that took effect (sum of [injected]). *)
+val total_injected : mem_faults -> int
+
+(** Total faults the hardened registers detected (corrupt + stale +
+    lost). *)
+val total_detected : mem_faults -> int
+
+val pp_mem_faults : Format.formatter -> mem_faults -> unit

@@ -25,6 +25,10 @@ type view = {
   op_of : int -> Event.mem_op option;
       (** kind of the shared access a runnable pid is suspended at; [None]
           for pids that are not runnable *)
+  oid_of : int -> int option;
+      (** the cell a runnable pid is suspended at — what a memory-fault
+          nemesis needs to corrupt "the cell this process is about to CAS";
+          [None] for pids that are not runnable *)
   steps_of : int -> int;
       (** shared-memory steps executed so far by a pid (across all its
           incarnations) *)
@@ -35,6 +39,9 @@ type decision =
   | Crash of int  (** pid halts losing its local state; its pending step is
                       never executed *)
   | Restart of int  (** a crashed pid respawns on its recovery function *)
+  | Mem_fault of { kind : Event.fault_kind; oid : int }
+      (** inject a memory fault into cell [oid] (docs/MODEL.md §9); charged
+          to the fault budget like {!Crash}/{!Restart} *)
   | Stop  (** abandon the run (explorer ran out of forced choices) *)
 
 type t = { name : string; pick : view -> decision }
@@ -53,6 +60,8 @@ let decision_to_string = function
   | Run pid -> Printf.sprintf "run %d" pid
   | Crash pid -> Printf.sprintf "crash %d" pid
   | Restart pid -> Printf.sprintf "restart %d" pid
+  | Mem_fault { kind; oid } ->
+    Printf.sprintf "%s %d" (Event.fault_kind_to_string kind) oid
   | Stop -> "stop"
 
 let decision_of_string s =
@@ -61,6 +70,12 @@ let decision_of_string s =
   | [ "crash"; p ] -> Crash (int_of_string p)
   | [ "restart"; p ] -> Restart (int_of_string p)
   | [ "stop" ] -> Stop
+  | [ verb; oid ] when Event.fault_kind_of_string verb <> None ->
+    Mem_fault
+      {
+        kind = Option.get (Event.fault_kind_of_string verb);
+        oid = int_of_string oid;
+      }
   | _ -> invalid_arg (Printf.sprintf "Scheduler.decision_of_string: %S" s)
 
 let pp_decision ppf d = Fmt.string ppf (decision_to_string d)
@@ -164,6 +179,9 @@ let replay_decisions ?(lenient = false) ?fallback decisions =
         match d with
         | Run p | Crash p -> is_runnable v p
         | Restart p -> is_restartable v p
+        (* A fault targeting a cell the current execution never allocates is
+           absorbed by the simulator, so the decision is always playable. *)
+        | Mem_fault _ -> true
         | Stop -> true
       in
       if applicable then (
@@ -465,3 +483,65 @@ let chaos ~seed ?(rate = 0.04) ?(max_crashes = 6) ?(max_restart_delay = 30)
       else inner.pick v
   in
   { name = Printf.sprintf "chaos(%d)" seed; pick }
+
+(* ---- memory-fault nemeses (docs/MODEL.md §9) ---- *)
+
+(** Seeded memory-fault storm: at every decision point, with probability
+    [rate], inject a fault of a uniformly chosen kind from [kinds] into the
+    cell some runnable process is suspended at (at most [max_faults] per
+    run).  Targeting pending-access cells rather than random oids puts
+    every fault on a cell the algorithms are actively contending on.  All
+    randomness derives from [seed]; the schedule replays exactly. *)
+let mem_storm ~seed ?(kinds = Event.all_fault_kinds) ?(rate = 0.02)
+    ?(max_faults = 8) inner =
+  if kinds = [] then invalid_arg "Scheduler.mem_storm: empty kind list";
+  let st = Random.State.make [| seed; 0xFA17 |] in
+  let injected = ref 0 in
+  let pick v =
+    if
+      !injected < max_faults
+      && Array.length v.runnable > 0
+      && Random.State.float st 1.0 < rate
+    then begin
+      let p = v.runnable.(Random.State.int st (Array.length v.runnable)) in
+      match v.oid_of p with
+      | Some oid ->
+        let kind = List.nth kinds (Random.State.int st (List.length kinds)) in
+        incr injected;
+        Mem_fault { kind; oid }
+      | None -> inner.pick v
+    end
+    else inner.pick v
+  in
+  { name = Printf.sprintf "mem-storm(%d)+%s" seed inner.name; pick }
+
+(** Targeted memory fault: corrupt the cell [pid] is about to access the
+    [nth] time it is suspended at an access of kind [op] — with
+    [~op:Event.Cas] this garbles the very cell a process is about to CAS,
+    inside its read-to-CAS window, the sharpest corruption an adversary can
+    aim.  One shot; delegates to [inner] otherwise. *)
+let corrupt_on_op ~pid ~op ?(nth = 1) inner =
+  let seen = ref 0 in
+  let last_counted = ref (-1) in
+  let done_ = ref false in
+  let pick v =
+    if (not !done_) && is_runnable v pid && v.op_of pid = Some op then begin
+      (* Count each distinct suspension once, not each consultation (same
+         accounting as [crash_on_op]). *)
+      let steps = v.steps_of pid in
+      if steps <> !last_counted then begin
+        last_counted := steps;
+        incr seen
+      end;
+      if !seen >= nth then begin
+        match v.oid_of pid with
+        | Some oid ->
+          done_ := true;
+          Mem_fault { kind = Event.Corrupt; oid }
+        | None -> inner.pick v
+      end
+      else inner.pick v
+    end
+    else inner.pick v
+  in
+  { name = inner.name ^ "+corrupt-on-op"; pick }

@@ -19,6 +19,10 @@ type view = {
   op_of : int -> Event.mem_op option;
       (** kind of the shared access a runnable pid is suspended at; [None]
           for pids that are not runnable *)
+  oid_of : int -> int option;
+      (** the cell a runnable pid is suspended at — what a memory-fault
+          nemesis needs to corrupt "the cell this process is about to CAS";
+          [None] for pids that are not runnable *)
   steps_of : int -> int;
       (** shared-memory steps executed so far by a pid (across all its
           incarnations) *)
@@ -29,6 +33,9 @@ type decision =
   | Crash of int  (** pid halts losing its local state; its pending access
                       never executes *)
   | Restart of int  (** a crashed pid respawns on its recovery function *)
+  | Mem_fault of { kind : Event.fault_kind; oid : int }
+      (** inject a memory fault into cell [oid] (docs/MODEL.md §9); charged
+          to the fault budget like {!Crash}/{!Restart} *)
   | Stop  (** abandon the run *)
 
 type t = { name : string; pick : view -> decision }
@@ -45,8 +52,9 @@ val is_restartable : view -> int -> bool
     in [v]. *)
 
 (** {2 Decision serialization} — schedule files and shrink reports use the
-    textual form ["run 3"], ["crash 0"], ["restart 0"], ["stop"], one
-    decision per line. *)
+    textual form ["run 3"], ["crash 0"], ["restart 0"], ["stop"], plus the
+    memory-fault verbs ["lose 5"], ["stale 5"], ["corrupt 5"], ["stick 5"]
+    (verb + cell oid), one decision per line. *)
 
 val decision_to_string : decision -> string
 
@@ -141,3 +149,27 @@ val chaos :
   ?inner:t ->
   unit ->
   t
+
+(** {2 Memory-fault nemeses} — fault injection into the {e cells} rather
+    than the processes (docs/MODEL.md §9).  Fault decisions are charged to
+    the fault budget, recorded in traces, and replay/shrink exactly like
+    crashes. *)
+
+(** Seeded memory-fault storm: at every decision point, with probability
+    [rate] (default 0.02), inject a fault of a uniformly chosen kind from
+    [kinds] (default: all four) into the cell some runnable process is
+    suspended at — at most [max_faults] (default 8) per run.
+    @raise Invalid_argument if [kinds] is empty. *)
+val mem_storm :
+  seed:int ->
+  ?kinds:Event.fault_kind list ->
+  ?rate:float ->
+  ?max_faults:int ->
+  t ->
+  t
+
+(** Targeted memory fault: corrupt the cell [pid] is about to access the
+    [nth] (default 1st) time it is suspended at an access of kind [op] —
+    e.g. [~op:Event.Cas] garbles the cell inside the process's read-to-CAS
+    window.  One shot. *)
+val corrupt_on_op : pid:int -> op:Event.mem_op -> ?nth:int -> t -> t

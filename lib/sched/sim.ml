@@ -103,12 +103,33 @@ let steps_of pid = (get_current "Sim.steps_of").procs.(pid).steps
 let incarnation_of pid =
   (get_current "Sim.incarnation_of").procs.(pid).incarnation
 
+(* Cells allocated outside any run (test setup, harness [create] calls)
+   get negative oids from this counter, so they are distinguishable fault
+   targets too.  Per-run cells count 1, 2, ... from the run's own counter;
+   a harness that re-executes the same workload calls [reset_prerun_oids]
+   before each construction so oids are a deterministic function of the
+   workload — which replay and shrinking rely on. *)
+let prerun_oid_counter = ref 0
+
+let reset_prerun_oids () = prerun_oid_counter := 0
+
 let fresh_oid () =
   match !current with
   | Some t ->
     t.oid_counter <- t.oid_counter + 1;
     t.oid_counter
-  | None -> 0
+  | None ->
+    decr prerun_oid_counter;
+    !prerun_oid_counter
+
+(* Memory faults are applied by the memory backend, which owns the typed
+   cells; [Mem_sim] installs its dispatcher at module initialization.  The
+   dispatcher returns [true] when the fault was injected, [false] when it
+   was absorbed (unknown cell, or no corrupting value available). *)
+let mem_fault_dispatcher : (Event.fault_kind -> int -> bool) option ref =
+  ref None
+
+let set_mem_fault_dispatcher f = mem_fault_dispatcher := Some f
 
 (* Performed by Mem_sim before executing a shared access.  The access itself
    is the code that runs after [continue]: suspension point first, operation
@@ -206,6 +227,11 @@ let run ?(record_trace = false) ?(max_steps = 50_000_000) ?recover ~sched
     | Pending (_, info) -> Some info.op
     | Finished | Crashed | Failed _ -> None
   in
+  let oid_of pid =
+    match t.procs.(pid).state with
+    | Pending (_, info) -> Some info.oid
+    | Finished | Crashed | Failed _ -> None
+  in
   let steps_of pid = t.procs.(pid).steps in
   try
     (* Start every fiber: each runs its (step-free) local prefix and parks at
@@ -230,6 +256,7 @@ let run ?(record_trace = false) ?(max_steps = 50_000_000) ?recover ~sched
             crashed = restartable;
             clock = t.clock;
             op_of;
+            oid_of;
             steps_of;
           }
         in
@@ -248,6 +275,21 @@ let run ?(record_trace = false) ?(max_steps = 50_000_000) ?recover ~sched
           crashed := pid :: !crashed;
           if t.record_trace then
             t.trace <- Event.Crash { pid; clock = t.clock } :: t.trace;
+          loop ()
+        | Scheduler.Mem_fault { kind; oid } ->
+          (* A memory fault advances the fault counter, not the clock, so a
+             fault-only loop still exhausts the budget. *)
+          t.faults <- t.faults + 1;
+          if t.faults > t.max_steps then raise (Out_of_steps t.clock);
+          (match !mem_fault_dispatcher with
+          | Some apply -> ignore (apply kind oid)
+          | None ->
+            failwith
+              "Sim.run: memory-fault decision but no dispatcher (is the \
+               Mem_sim backend linked?)");
+          if t.record_trace then
+            t.trace <-
+              Event.Mem_fault { kind; oid; clock = t.clock } :: t.trace;
           loop ()
         | Scheduler.Restart pid ->
           let p = t.procs.(pid) in

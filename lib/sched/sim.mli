@@ -92,8 +92,25 @@ val incarnation_of : int -> int
     fiber). *)
 val step : step_info -> unit
 
-(** Fresh object id for traces ([0] outside a simulation). *)
+(** Fresh object id for traces and fault targeting: positive and counting
+    from 1 inside a run, negative and counting down outside any run (cells
+    built in test or harness setup).  Harnesses that re-execute a workload
+    call {!reset_prerun_oids} before each construction so oids are a
+    deterministic function of the workload — replay and shrinking of
+    memory-fault schedules rely on this. *)
 val fresh_oid : unit -> int
+
+(** Reset the outside-run oid counter (see {!fresh_oid}). *)
+val reset_prerun_oids : unit -> unit
+
+(** {2 Memory-fault dispatch}
+
+    Memory faults are scheduler decisions ({!Scheduler.Mem_fault}), but the
+    typed cells live in the memory backend; the backend installs a
+    dispatcher here at initialization.  The dispatcher returns [true] when
+    the fault was injected, [false] when it was absorbed. *)
+
+val set_mem_fault_dispatcher : (Event.fault_kind -> int -> bool) -> unit
 
 (** Globally unique id of the currently executing run, or [None] outside
     any run.  Serials are never reused, so {!Mem_sim}'s strict mode can

@@ -13,7 +13,8 @@ end)
 let steps (trace : Event.t list) =
   List.filter_map
     (function
-      | Event.Step _ as e -> Some e | Event.Crash _ | Event.Restart _ -> None)
+      | Event.Step _ as e -> Some e
+      | Event.Crash _ | Event.Restart _ | Event.Mem_fault _ -> None)
     trace
 
 let bump key m = Int_map.update key (fun n -> Some (1 + Option.value ~default:0 n)) m
@@ -22,7 +23,7 @@ let steps_by_pid trace =
   List.fold_left
     (fun m -> function
       | Event.Step { pid; _ } -> bump pid m
-      | Event.Crash _ | Event.Restart _ -> m)
+      | Event.Crash _ | Event.Restart _ | Event.Mem_fault _ -> m)
     Int_map.empty trace
   |> Int_map.bindings
 
@@ -33,7 +34,7 @@ let steps_by_object trace =
         Obj_map.update (oid, obj_name)
           (fun n -> Some (1 + Option.value ~default:0 n))
           m
-      | Event.Crash _ | Event.Restart _ -> m)
+      | Event.Crash _ | Event.Restart _ | Event.Mem_fault _ -> m)
     Obj_map.empty trace
   |> Obj_map.bindings
   |> List.map (fun ((oid, name), n) -> (oid, name, n))
@@ -47,7 +48,8 @@ let context_switches trace =
     | [] -> n
     | Event.Step { pid; _ } :: rest ->
       go (Some pid) (match last with Some p when p <> pid -> n + 1 | _ -> n) rest
-    | (Event.Crash _ | Event.Restart _) :: rest -> go last n rest
+    | (Event.Crash _ | Event.Restart _ | Event.Mem_fault _) :: rest ->
+      go last n rest
   in
   go None 0 trace
 
@@ -55,14 +57,21 @@ let crashes trace =
   List.filter_map
     (function
       | Event.Crash { pid; _ } -> Some pid
-      | Event.Step _ | Event.Restart _ -> None)
+      | Event.Step _ | Event.Restart _ | Event.Mem_fault _ -> None)
     trace
 
 let restarts trace =
   List.filter_map
     (function
       | Event.Restart { pid; _ } -> Some pid
-      | Event.Step _ | Event.Crash _ -> None)
+      | Event.Step _ | Event.Crash _ | Event.Mem_fault _ -> None)
+    trace
+
+let mem_faults trace =
+  List.filter_map
+    (function
+      | Event.Mem_fault { kind; oid; _ } -> Some (kind, oid)
+      | Event.Step _ | Event.Crash _ | Event.Restart _ -> None)
     trace
 
 let schedule trace =
@@ -70,7 +79,8 @@ let schedule trace =
     (function
       | Event.Step { pid; _ } -> Scheduler.Run pid
       | Event.Crash { pid; _ } -> Scheduler.Crash pid
-      | Event.Restart { pid; _ } -> Scheduler.Restart pid)
+      | Event.Restart { pid; _ } -> Scheduler.Restart pid
+      | Event.Mem_fault { kind; oid; _ } -> Scheduler.Mem_fault { kind; oid })
     trace
 
 let pp ppf trace = List.iter (Fmt.pf ppf "%a@." Event.pp) trace

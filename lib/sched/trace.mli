@@ -26,8 +26,11 @@ val crashes : Event.t list -> int list
 (** Pids of restart events, in execution order. *)
 val restarts : Event.t list -> int list
 
+(** Memory-fault events as [(kind, oid)], in execution order. *)
+val mem_faults : Event.t list -> (Event.fault_kind * int) list
+
 (** The scheduler decision sequence that reproduces the trace: one
-    [Run]/[Crash]/[Restart] per event.  Feeding it to
+    [Run]/[Crash]/[Restart]/[Mem_fault] per event.  Feeding it to
     [Scheduler.replay_decisions] replays the execution exactly; it is also
     the input format of the {!Shrink} minimizer. *)
 val schedule : Event.t list -> Scheduler.decision list

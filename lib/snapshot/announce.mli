@@ -1,0 +1,24 @@
+(** The scanners' announcement board shared by Figures 1 and 3: one
+    single-writer register per process holding the sorted component set of
+    its current partial scan, plus the union computation an updater
+    performs after its [getSet].
+
+    Announcing is how a scan becomes helpable: an update that sees the
+    announcement embeds the announced components in the view it publishes
+    with its value, and the scan may then borrow that view (condition (2)
+    of the embedded-scan loop, {!Collect}). *)
+
+module Make (M : Psnap_mem.Mem_intf.S) : sig
+  type t
+
+  (** [create ~n] — one register per process, initially the empty set. *)
+  val create : n:int -> t
+
+  (** [announce t ~pid idxs] publishes [pid]'s current scan components
+      (strictly increasing).  One write. *)
+  val announce : t -> pid:int -> int array -> unit
+
+  (** Union of the sets announced by [scanners], sorted strictly
+      increasing.  One read per listed scanner; the merge is local. *)
+  val union_announced : t -> int list -> int array
+end

@@ -133,7 +133,8 @@ let trace_signature res =
     (function
       | Event.Step { pid; op; clock; _ } -> (pid, op, clock)
       | Event.Crash { pid; clock } -> (pid, Event.Read, -clock)
-      | Event.Restart { pid; clock; _ } -> (pid, Event.Write, -clock))
+      | Event.Restart { pid; clock; _ } -> (pid, Event.Write, -clock)
+      | Event.Mem_fault { oid; clock; _ } -> (oid, Event.Cas, -clock))
     res.Sim.trace
 
 let test_chaos_deterministic () =
@@ -200,6 +201,26 @@ let test_ddmin_rejects_passing_schedule () =
   match Shrink.minimize ~oracle:(fun _ -> false) [ 1; 2; 3 ] with
   | _ -> Alcotest.fail "expected Invalid_argument"
   | exception Invalid_argument _ -> ()
+
+let test_ddmin_empty_schedule () =
+  (* an empty failing schedule is already minimal *)
+  let minimal, _calls = Shrink.minimize ~oracle:(fun _ -> true) [] in
+  Alcotest.(check (list int)) "empty stays empty" [] minimal
+
+let test_ddmin_already_minimal () =
+  (* 1-minimal input: ddmin must return it unchanged (order preserved) *)
+  let schedule = [ 5; 9; 2 ] in
+  let oracle c = List.mem 5 c && List.mem 9 c && List.mem 2 c in
+  let minimal, _calls = Shrink.minimize ~oracle schedule in
+  Alcotest.(check (list int)) "unchanged" schedule minimal
+
+let test_ddmin_needs_whole_schedule () =
+  (* the oracle fails on every proper sub-list: nothing can be removed *)
+  let schedule = List.init 9 (fun i -> i) in
+  let oracle c = List.length c = 9 in
+  let minimal, calls = Shrink.minimize ~oracle schedule in
+  Alcotest.(check (list int)) "whole schedule survives" schedule minimal;
+  check_bool "tried sub-lists before giving up" true (calls > 1)
 
 let test_schedule_file_roundtrip () =
   let decisions =
@@ -653,6 +674,11 @@ let () =
           Alcotest.test_case "ddmin minimizes" `Quick test_ddmin_minimizes;
           Alcotest.test_case "passing schedule rejected" `Quick
             test_ddmin_rejects_passing_schedule;
+          Alcotest.test_case "empty schedule" `Quick test_ddmin_empty_schedule;
+          Alcotest.test_case "already 1-minimal input" `Quick
+            test_ddmin_already_minimal;
+          Alcotest.test_case "irreducible schedule" `Quick
+            test_ddmin_needs_whole_schedule;
           Alcotest.test_case "schedule file roundtrip" `Quick
             test_schedule_file_roundtrip;
         ] );

@@ -71,7 +71,8 @@ let trace_signature res =
     (function
       | Event.Step { pid; op; clock; _ } -> (pid, op, clock)
       | Event.Crash { pid; clock } -> (pid, Event.Read, -clock)
-      | Event.Restart { pid; clock; _ } -> (pid, Event.Write, -clock))
+      | Event.Restart { pid; clock; _ } -> (pid, Event.Write, -clock)
+      | Event.Mem_fault { oid; clock; _ } -> (oid, Event.Cas, -clock))
     res.Sim.trace
 
 let test_random_deterministic () =
