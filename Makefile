@@ -60,6 +60,20 @@ chaos-mem:
 	  --seed $(CHAOS_MEM_SEED) --seeds 10 \
 	  --check --json $(ARTIFACTS)/chaos-mem-fig1-hardened-$(CHAOS_MEM_SEED).json
 
+# Serving-layer smoke (E16): drive the flat and sharded Figure 3 through
+# the multicore loadgen on 2 domains, short budget, JSON summaries
+# uploaded with the other campaign artifacts.  The committed reference
+# trajectory is BENCH_runtime.json.
+loadgen-smoke:
+	dune build bin/loadgen.exe
+	mkdir -p $(ARTIFACTS)
+	dune exec bin/loadgen.exe -- --impl fig3 -m 1024 -r 16 --domains 2 \
+	  --mix 1u+1s --scan window --duration 500ms --warmup 0.1s --seed 42 \
+	  --json $(ARTIFACTS)/loadgen-fig3.json
+	dune exec bin/loadgen.exe -- --impl sharded --shards 8 --partition range \
+	  -m 1024 -r 16 --domains 2 --mix 1u+1s --scan window --duration 500ms \
+	  --warmup 0.1s --seed 42 --json $(ARTIFACTS)/loadgen-sharded.json
+
 # The artifacts referenced by EXPERIMENTS.md.
 pin-outputs:
 	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
@@ -69,4 +83,4 @@ clean:
 	dune clean
 	rm -rf $(ARTIFACTS)
 
-.PHONY: all test lint bench chaos chaos-mem examples pin-outputs clean
+.PHONY: all test lint bench chaos chaos-mem loadgen-smoke examples pin-outputs clean

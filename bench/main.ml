@@ -103,41 +103,29 @@ let run_bechamel () =
        ~header:[ "operation"; "ns/op"; "r^2" ]
        rows)
 
-(* ---- E8b: multi-domain throughput ---- *)
+(* ---- E8b: multi-domain throughput (driven by the runtime loadgen) ---- *)
 
-let throughput_row (name, (module S : Snapshot.S)) =
-  let m = 256 and r = 8 in
-  let t = S.create ~n:2 (Array.init m (fun i -> i)) in
-  let stop = Atomic.make false in
-  let scans = Atomic.make 0 in
-  let scanner =
-    Domain.spawn (fun () ->
-        let h = S.handle t ~pid:1 in
-        let idxs = Array.init r (fun k -> k * 17 mod m) in
-        let n = ref 0 in
-        while not (Atomic.get stop) do
-          ignore (S.scan h idxs);
-          incr n
-        done;
-        Atomic.set scans !n)
+module Loadgen = Psnap.Runtime.Loadgen
+
+let throughput_row (name, impl) =
+  let rep =
+    Loadgen.run impl
+      {
+        Loadgen.default with
+        m = 256;
+        r = 8;
+        domains = 2;
+        mix = Loadgen.Dedicated { updaters = 1; scanners = 1 };
+        warmup_s = 0.05;
+        duration_s = 0.5;
+      }
   in
-  let h = S.handle t ~pid:0 in
-  let t0 = Unix.gettimeofday () in
-  let updates = ref 0 in
-  while Unix.gettimeofday () -. t0 < 0.5 do
-    for k = 1 to 100 do
-      S.update h (k mod m) k
-    done;
-    updates := !updates + 100
-  done;
-  Atomic.set stop true;
-  Domain.join scanner;
-  let dt = Unix.gettimeofday () -. t0 in
-  [
-    name;
-    Printf.sprintf "%.0f" (float_of_int !updates /. dt);
-    Printf.sprintf "%.0f" (float_of_int (Atomic.get scans) /. dt);
-  ]
+  let rate n =
+    if rep.Loadgen.elapsed_s > 0.0 then
+      Printf.sprintf "%.0f" (float_of_int n /. rep.Loadgen.elapsed_s)
+    else "0"
+  in
+  [ name; rate rep.Loadgen.updates; rate rep.Loadgen.scans ]
 
 let run_throughput () =
   let impls : (string * (module Snapshot.S)) list =
@@ -146,6 +134,7 @@ let run_throughput () =
       ("fig1", (module Mc_fig1));
       ("fig3", (module Mc_fig3));
       ("farray", (module Mc_farray));
+      ("sharded-4xfig3", (module Mc_sharded_fig3));
     ]
   in
   Table.print

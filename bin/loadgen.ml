@@ -1,0 +1,274 @@
+(* Multicore serving benchmark: drive a snapshot implementation with the
+   Psnap_runtime load generator and report throughput plus latency
+   percentiles.
+
+     dune exec bin/loadgen.exe -- --impl sharded --shards 8 --domains 4 \
+         --dist zipf --mix 90:10 --duration 2s --json out.json
+
+   --impl sharded builds the sharded Figure 3 construction with the
+   requested shard count at runtime; the flat implementations (fig1,
+   fig3, afek, farray) take the same workload for comparison.  JSON
+   summaries land wherever --json points (CI uses _artifacts/) and feed
+   the BENCH_runtime.json trajectory. *)
+
+open Psnap
+module Table = Psnap_harness.Table
+module Loadgen = Psnap_runtime.Loadgen
+module Histogram = Psnap_runtime.Histogram
+
+let flat_impls : (string * (module Snapshot.S)) list =
+  [
+    ("fig1", (module Mc_fig1));
+    ("fig3", (module Mc_fig3));
+    ("afek", (module Mc_afek));
+    ("farray", (module Mc_farray));
+  ]
+
+let impl_names =
+  List.map fst flat_impls @ [ "sharded"; "sharded-relaxed" ]
+
+let impl_of ~shards ~partition name : (module Snapshot.S) =
+  match name with
+  | "sharded" | "sharded-relaxed" ->
+    (module Psnap_runtime.Sharded.Make (Mem.Atomic) (Mc_fig3)
+              (struct
+                let shards = shards
+                let partition = partition
+                let mode =
+                  if name = "sharded" then `Validated else `Relaxed
+              end))
+  | _ -> (
+    match List.assoc_opt name flat_impls with
+    | Some m -> m
+    | None ->
+      Printf.eprintf "unknown implementation %S (choose from: %s)\n" name
+        (String.concat ", " impl_names);
+      exit 2)
+
+(* "90:10" -> update probability 0.9; "1u+3s" -> dedicated roles *)
+let mix_of s =
+  match String.index_opt s ':' with
+  | Some i ->
+    let u = float_of_string (String.sub s 0 i)
+    and sc = float_of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+    if u < 0.0 || sc < 0.0 || u +. sc <= 0.0 then
+      failwith "bad --mix ratio";
+    Loadgen.Ratio (u /. (u +. sc))
+  | None -> (
+    match String.split_on_char '+' s with
+    | [ u; sc ]
+      when String.length u > 1
+           && u.[String.length u - 1] = 'u'
+           && String.length sc > 1
+           && sc.[String.length sc - 1] = 's' ->
+      Loadgen.Dedicated
+        {
+          updaters = int_of_string (String.sub u 0 (String.length u - 1));
+          scanners = int_of_string (String.sub sc 0 (String.length sc - 1));
+        }
+    | _ -> failwith "bad --mix (use U:S, e.g. 90:10, or NuMs, e.g. 1u+3s)")
+
+(* "2s" | "2" | "250ms" -> seconds *)
+let seconds_of s =
+  let num t = float_of_string t in
+  let n = String.length s in
+  if n > 2 && String.sub s (n - 2) 2 = "ms" then
+    num (String.sub s 0 (n - 2)) /. 1000.0
+  else if n > 1 && s.[n - 1] = 's' then num (String.sub s 0 (n - 1))
+  else num s
+
+let write_json path fields =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          Printf.fprintf oc "  %S: %s%s\n" k v
+            (if i < List.length fields - 1 then "," else ""))
+        fields;
+      output_string oc "}\n")
+
+let run impl_name shards partition_name m r domains dist_name theta mix_s
+    rate scan_name duration warmup seed json_file =
+  let partition =
+    match partition_name with
+    | "rr" | "round-robin" -> `Round_robin
+    | "range" -> `Range
+    | s ->
+      Printf.eprintf "unknown partition %S (choose from: rr, range)\n" s;
+      exit 2
+  in
+  let dist =
+    match dist_name with
+    | "uniform" -> Loadgen.Uniform
+    | "zipf" -> Loadgen.Zipfian theta
+    | s ->
+      Printf.eprintf "unknown distribution %S (choose from: uniform, zipf)\n" s;
+      exit 2
+  in
+  let mix = try mix_of mix_s with Failure e -> Printf.eprintf "%s\n" e; exit 2 in
+  let loop =
+    match rate with Some r -> Loadgen.Open_rate r | None -> Loadgen.Closed
+  in
+  let scan_pattern =
+    match scan_name with
+    | "random" -> Loadgen.Random_set
+    | "window" -> Loadgen.Window
+    | s ->
+      Printf.eprintf "unknown scan pattern %S (choose from: random, window)\n"
+        s;
+      exit 2
+  in
+  let cfg =
+    {
+      Loadgen.m;
+      r;
+      domains;
+      dist;
+      mix;
+      loop;
+      scan_pattern;
+      warmup_s = seconds_of warmup;
+      duration_s = seconds_of duration;
+      seed;
+    }
+  in
+  let (module S : Snapshot.S) = impl_of ~shards ~partition impl_name in
+  let rep = Loadgen.run (module S) cfg in
+  let lat_row kind h =
+    [
+      kind;
+      string_of_int (Histogram.count h);
+      (if rep.Loadgen.elapsed_s > 0.0 then
+         Printf.sprintf "%.0f"
+           (float_of_int (Histogram.count h) /. rep.Loadgen.elapsed_s)
+       else "0");
+      string_of_int (Histogram.percentile h 50.0);
+      string_of_int (Histogram.percentile h 90.0);
+      string_of_int (Histogram.percentile h 99.0);
+      string_of_int (Histogram.percentile h 99.9);
+      string_of_int (Histogram.max_value h);
+    ]
+  in
+  Table.print
+    (Table.make
+       ~title:
+         (Printf.sprintf
+            "%s: m=%d r=%d, %d domains, %s, mix %s, %s, %s scans, %.2fs measured -> %.0f ops/s"
+            S.name m r domains
+            (Loadgen.dist_to_string dist)
+            (Loadgen.mix_to_string mix)
+            (Loadgen.loop_to_string loop)
+            (Loadgen.scan_pattern_to_string scan_pattern)
+            rep.Loadgen.elapsed_s (Loadgen.throughput rep))
+       ~header:
+         [ "op"; "count"; "ops/s"; "p50 ns"; "p90 ns"; "p99 ns"; "p99.9 ns"; "max ns" ]
+       [
+         lat_row "update" rep.Loadgen.update_lat;
+         lat_row "scan" rep.Loadgen.scan_lat;
+       ]);
+  Option.iter
+    (fun path ->
+      write_json path
+        (Loadgen.json_fields ~impl:S.name cfg rep
+        @ [ ("shards", string_of_int shards); ("seed", string_of_int seed) ]);
+      Printf.printf "json summary written to %s\n" path)
+    json_file;
+  0
+
+open Cmdliner
+
+let impl =
+  Arg.(
+    value & opt string "fig3"
+    & info [ "impl" ] ~docv:"NAME"
+        ~doc:
+          (Printf.sprintf "Implementation: %s."
+             (String.concat ", " impl_names)))
+
+let shards =
+  Arg.(
+    value & opt int 8
+    & info [ "shards" ] ~docv:"S"
+        ~doc:"Shard count for the sharded implementations.")
+
+let partition =
+  Arg.(
+    value & opt string "rr"
+    & info [ "partition" ] ~docv:"P"
+        ~doc:"Component placement for sharded: rr (round-robin) or range.")
+
+let m = Arg.(value & opt int 1024 & info [ "m" ] ~doc:"Vector size.")
+
+let r = Arg.(value & opt int 8 & info [ "r" ] ~doc:"Components per scan.")
+
+let domains =
+  Arg.(value & opt int 2 & info [ "domains" ] ~docv:"D" ~doc:"Client domains.")
+
+let dist =
+  Arg.(
+    value & opt string "uniform"
+    & info [ "dist" ] ~docv:"NAME" ~doc:"Key popularity: uniform, zipf.")
+
+let theta =
+  Arg.(
+    value & opt float 0.99
+    & info [ "theta" ] ~doc:"Zipf exponent for --dist zipf.")
+
+let mix =
+  Arg.(
+    value & opt string "50:50"
+    & info [ "mix" ] ~docv:"U:S"
+        ~doc:
+          "Update:scan ratio (e.g. 90:10), or dedicated roles as NuMs \
+           (e.g. 1u+1s: one updater domain, one scanner domain).")
+
+let rate =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "rate" ] ~docv:"OPS"
+        ~doc:
+          "Open-loop target arrival rate (total ops/s); omit for a \
+           closed loop.")
+
+let scan_pattern =
+  Arg.(
+    value & opt string "random"
+    & info [ "scan" ] ~docv:"PAT"
+        ~doc:
+          "Scan index pattern: random (r independent draws) or window (a \
+           contiguous range of r components starting at a drawn base).")
+
+let duration =
+  Arg.(
+    value & opt string "2s"
+    & info [ "duration" ] ~docv:"T"
+        ~doc:"Measured run length (e.g. 2s, 500ms).")
+
+let warmup =
+  Arg.(
+    value & opt string "0.2s"
+    & info [ "warmup" ] ~docv:"T"
+        ~doc:"Warmup excluded from measurement (e.g. 0.2s).")
+
+let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Workload seed.")
+
+let json_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write a machine-readable summary to FILE.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"multicore load generator for partial snapshot objects")
+    Term.(
+      const run $ impl $ shards $ partition $ m $ r $ domains $ dist $ theta
+      $ mix $ rate $ scan_pattern $ duration $ warmup $ seed $ json_file)
+
+let () = exit (Cmd.eval' cmd)

@@ -35,6 +35,27 @@ let impls : (string * (module Snapshot.S)) list =
     ("fig3-selfcheck", (module Sim_fig3_selfcheck));
   ]
 
+let impl_names = List.map fst impls @ [ "sharded"; "sharded-relaxed" ]
+
+(* sharded implementations take their geometry from --shards, so they are
+   built at runtime rather than listed statically *)
+let impl_of ~shards name : (module Snapshot.S) =
+  match name with
+  | "sharded" | "sharded-relaxed" ->
+    (module Psnap_runtime.Sharded.Make (Mem.Sim) (Sim_fig3)
+              (struct
+                let shards = shards
+                let partition = `Round_robin
+                let mode = if name = "sharded" then `Validated else `Relaxed
+              end))
+  | _ -> (
+    match List.assoc_opt name impls with
+    | Some m -> m
+    | None ->
+      Printf.eprintf "unknown implementation %S (choose from: %s)\n" name
+        (String.concat ", " impl_names);
+      exit 2)
+
 let scheds = [ "random"; "bursty"; "starve"; "pct"; "round-robin" ]
 
 let sched_of name ~scanner_pids ~seed =
@@ -98,9 +119,9 @@ let write_json path fields =
         fields;
       output_string oc "}\n")
 
-let run impl_name m r updaters updates scanners scans sched_name seed_base
-    seeds check crash_at nemesis_name mem_faults_arg mem_rate mem_max
-    expect_violations shrink replay_file json_file =
+let run impl_name shards m r updaters updates scanners scans sched_name
+    seed_base seeds check crash_at nemesis_name mem_faults_arg mem_rate
+    mem_max expect_violations shrink replay_file json_file =
   let mem_kinds = mem_kinds_of mem_faults_arg in
   (* Cells must be registered as fault targets before the workload is
      built; tracking also enables the per-cell history Stale_read draws
@@ -108,14 +129,7 @@ let run impl_name m r updaters updates scanners scans sched_name seed_base
      decisions even when --mem-faults is off. *)
   Mem.Sim.set_fault_tracking true;
   Metrics.reset_mem_faults ();
-  let (module S : Snapshot.S) =
-    match List.assoc_opt impl_name impls with
-    | Some m -> m
-    | None ->
-      Printf.eprintf "unknown implementation %S (choose from: %s)\n" impl_name
-        (String.concat ", " (List.map fst impls));
-      exit 2
-  in
+  let (module S : Snapshot.S) = impl_of ~shards impl_name in
   if r > m then (
     Printf.eprintf "r (%d) must be <= m (%d)\n" r m;
     exit 2);
@@ -388,7 +402,15 @@ let impl =
     & info [ "impl" ] ~docv:"NAME"
         ~doc:
           (Printf.sprintf "Implementation: %s."
-             (String.concat ", " (List.map fst impls))))
+             (String.concat ", " impl_names)))
+
+let shards =
+  Arg.(
+    value & opt int 4
+    & info [ "shards" ] ~docv:"S"
+        ~doc:
+          "Shard count for the sharded implementations (fig3 instances \
+           behind round-robin placement).")
 
 let m = Arg.(value & opt int 64 & info [ "m" ] ~doc:"Vector size.")
 
@@ -499,9 +521,9 @@ let cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"drive partial snapshot workloads in the simulator")
     Term.(
-      const run $ impl $ m $ r $ updaters $ updates $ scanners $ scans $ sched
-      $ seed_base $ seeds $ check $ crash_at $ nemesis $ mem_faults_arg
-      $ mem_rate $ mem_max $ expect_violations $ shrink $ replay_file
-      $ json_file)
+      const run $ impl $ shards $ m $ r $ updaters $ updates $ scanners
+      $ scans $ sched $ seed_base $ seeds $ check $ crash_at $ nemesis
+      $ mem_faults_arg $ mem_rate $ mem_max $ expect_violations $ shrink
+      $ replay_file $ json_file)
 
 let () = exit (Cmd.eval' cmd)

@@ -135,6 +135,14 @@ module Farray = Psnap_snapshot.Farray
 
 module Llsc = Psnap_mem.Llsc
 
+(** The serving layer (docs/MODEL.md §10): sharding across independent
+    snapshot instances, multicore load generation, latency histograms. *)
+module Runtime = struct
+  module Sharded = Psnap_runtime.Sharded
+  module Loadgen = Psnap_runtime.Loadgen
+  module Histogram = Psnap_runtime.Histogram
+end
+
 (* ---- Pre-applied instances: simulator backend ---- *)
 
 module Sim_aset_fai = Psnap_activeset.Fai_cas.Make (Mem.Sim)
@@ -165,6 +173,18 @@ module Sim_fig3_small =
     active set instead of Figure 2's. *)
 module Sim_fig3_bounded_aset =
   Psnap_snapshot.Partial_cas.Make (Mem.Sim) (Sim_aset_bounded)
+
+(** Figure 3 sharded 4 ways (validated cross-shard scans, round-robin
+    placement) on the simulator — the instance the chaos campaigns and
+    [Lin_check] tests exercise; build other geometries directly with
+    {!Runtime.Sharded.Make}. *)
+module Sim_sharded_fig3 =
+  Psnap_runtime.Sharded.Make (Mem.Sim) (Sim_fig3)
+    (struct
+      let shards = 4
+      let partition = `Round_robin
+      let mode = `Validated
+    end)
 
 (* ---- Hardened instances: the same algorithms over fault-tolerant
    registers (docs/MODEL.md §9, EXPERIMENTS.md E15).  Logical step counts
@@ -218,3 +238,13 @@ module Mc_fig3_small =
 module Mc_afek = Psnap_snapshot.Afek.Make (Mem.Atomic)
 module Mc_farray = Psnap_snapshot.Farray_snapshot.Make (Mem.Atomic)
 module Mc_nonblocking = Psnap_snapshot.Partial_nonblocking.Make (Mem.Atomic)
+
+(** Figure 3 sharded 4 ways on real atomics; the loadgen CLI builds
+    arbitrary shard counts at runtime. *)
+module Mc_sharded_fig3 =
+  Psnap_runtime.Sharded.Make (Mem.Atomic) (Mc_fig3)
+    (struct
+      let shards = 4
+      let partition = `Round_robin
+      let mode = `Validated
+    end)

@@ -1,0 +1,123 @@
+(* Log-bucketed latency histogram (HDR-style), the observability primitive
+   of the serving layer.
+
+   Values (nanoseconds, non-negative ints) are binned into buckets whose
+   width grows geometrically: values below [2 * sub_count] are exact, and
+   each octave above is split into [sub_count] linear sub-buckets, so the
+   relative quantization error is bounded by 1/sub_count everywhere.  With
+   sub_count = 32 the whole 62-bit range needs < 2k buckets.
+
+   Concurrency model: a histogram is a plain record owned by one domain —
+   recording is a single unsynchronized array increment (no CAS, no
+   contention, nothing for other domains to wait on).  Each load-generator
+   domain records into its own instance and the driver merges them after
+   the domains have joined; merging commutes, so per-domain recording plus
+   a join-time merge is equivalent to one shared lock-free histogram
+   without paying for cross-domain cache traffic on the hot path. *)
+
+let sub_bits = 5
+
+let sub_count = 1 lsl sub_bits (* 32 *)
+
+(* Bit length of [v] (0 for 0): position of the highest set bit + 1. *)
+let bit_length v =
+  let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+  go 0 v
+
+(* Buckets [0, 2*sub_count) are exact.  For larger [v] with top bit at
+   position [sub_bits + o + 1], the top [sub_bits + 1] bits select the
+   bucket: index = sub_count * o + (v lsr o), which is continuous across
+   octave boundaries. *)
+let index_of v =
+  let v = if v < 0 then 0 else v in
+  if v < 2 * sub_count then v
+  else
+    let o = bit_length v - 1 - sub_bits in
+    (sub_count * o) + (v lsr o)
+
+(* Inverse: the lowest value mapping to bucket [i], and the bucket width. *)
+let bucket_bounds i =
+  if i < 2 * sub_count then (i, 1)
+  else
+    let o = (i / sub_count) - 1 in
+    let s = i - (sub_count * o) in
+    (s lsl o, 1 lsl o)
+
+(* Representative value reported for a bucket: its midpoint (exact for the
+   unit-width buckets). *)
+let value_of i =
+  let lo, w = bucket_bounds i in
+  lo + (w asr 1)
+
+let n_buckets = index_of max_int + 1
+
+type t = {
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+  counts : int array;
+}
+
+let create () =
+  { count = 0; sum = 0; min_v = max_int; max_v = 0; counts = Array.make n_buckets 0 }
+
+let record t v =
+  let v = if v < 0 then 0 else v in
+  let i = index_of v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.count
+
+let total t = t.sum
+
+let min_value t = if t.count = 0 then 0 else t.min_v
+
+let max_value t = t.max_v
+
+let mean t = if t.count = 0 then 0.0 else float_of_int t.sum /. float_of_int t.count
+
+let merge_into ~dst src =
+  Array.iteri (fun i c -> if c > 0 then dst.counts.(i) <- dst.counts.(i) + c) src.counts;
+  dst.count <- dst.count + src.count;
+  dst.sum <- dst.sum + src.sum;
+  if src.count > 0 then begin
+    if src.min_v < dst.min_v then dst.min_v <- src.min_v;
+    if src.max_v > dst.max_v then dst.max_v <- src.max_v
+  end
+
+let merge a b =
+  let t = create () in
+  merge_into ~dst:t a;
+  merge_into ~dst:t b;
+  t
+
+let percentile t p =
+  if t.count = 0 then 0
+  else begin
+    let p = if p < 0.0 then 0.0 else if p > 100.0 then 100.0 else p in
+    let rank =
+      let r = int_of_float (ceil (p /. 100.0 *. float_of_int t.count)) in
+      if r < 1 then 1 else if r > t.count then t.count else r
+    in
+    let i = ref 0 and seen = ref 0 in
+    while !seen < rank do
+      seen := !seen + t.counts.(!i);
+      incr i
+    done;
+    (* clamp the bucket midpoint to the observed range, so single-sample
+       and extreme percentiles report exact recorded values *)
+    let v = value_of (!i - 1) in
+    if v < t.min_v then t.min_v else if v > t.max_v then t.max_v else v
+  end
+
+let buckets t =
+  let acc = ref [] in
+  for i = Array.length t.counts - 1 downto 0 do
+    if t.counts.(i) > 0 then acc := (value_of i, t.counts.(i)) :: !acc
+  done;
+  !acc

@@ -1,0 +1,57 @@
+(** Log-bucketed latency histogram (HDR-style) for the serving layer.
+
+    Non-negative integer samples (nanoseconds) are binned into buckets of
+    geometrically growing width: small values are exact, larger ones are
+    quantized with relative error at most 1/32.  Recording is a single
+    unsynchronized array increment into a domain-private instance — the
+    lock-free discipline is {e ownership}: one histogram per recording
+    domain, merged after the domains join ({!merge} commutes and is
+    associative, so the merged result is independent of domain count and
+    join order). *)
+
+type t
+
+val create : unit -> t
+
+(** [record t v] adds one sample.  Negative values clamp to 0. *)
+val record : t -> int -> unit
+
+val count : t -> int
+
+(** Sum of all recorded samples (exact, not re-quantized). *)
+val total : t -> int
+
+(** Smallest / largest recorded sample; 0 when empty. *)
+val min_value : t -> int
+
+val max_value : t -> int
+
+(** Exact arithmetic mean; 0.0 when empty. *)
+val mean : t -> float
+
+(** [percentile t p] — the value at percentile [p] (in [0..100], clamped):
+    the representative value of the bucket holding the sample of rank
+    [ceil (p/100 * count)], clamped to the observed [min..max] range (so a
+    single-sample histogram reports that sample exactly, at every [p]).
+    Quantization error is at most 1/32 relative.  0 when empty. *)
+val percentile : t -> float -> int
+
+(** Functional merge of two histograms (neither argument is modified). *)
+val merge : t -> t -> t
+
+(** In-place merge of [src] into [dst]. *)
+val merge_into : dst:t -> t -> unit
+
+(** Non-empty buckets as [(representative value, count)], ascending —
+    for tests and debugging dumps. *)
+val buckets : t -> (int * int) list
+
+(**/**)
+
+(** Exposed for the unit tests of the binning math. *)
+
+val index_of : int -> int
+
+val value_of : int -> int
+
+val bucket_bounds : int -> int * int

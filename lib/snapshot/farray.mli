@@ -1,0 +1,48 @@
+(** Jayanti's f-array [20] (PODC 2002), the related-work comparison point
+    of Section 5 of the paper: an [m]-component object where a process can
+    update one component or read [f] applied to {e all} components in O(1)
+    shared-memory steps.
+
+    A complete binary tree of LL/SC objects caches the aggregate of each
+    subtree; an update writes its leaf and then {e double-refreshes} every
+    ancestor (LL, recompute from the two children, SC).  If both SCs at a
+    node fail, some concurrent refresh that started after this update's
+    leaf write succeeded there, so the update's value is already accounted
+    for — that collision argument makes propagation wait-free without
+    retry loops.  A read returns the root in one step.
+
+    The contrast the paper draws (and experiment E9 measures): reads are
+    O(1) but every update pays O(log m) LL/SC operations on objects whose
+    size grows up to the full vector at the root. *)
+
+module Make (M : Psnap_mem.Mem_intf.S) : sig
+  type ('a, 'b) t
+  (** An f-array with components of type ['a] aggregated into values of
+      type ['b]. *)
+
+  val create :
+    ?name:string ->
+    pad:'a ->
+    of_leaf:('a -> 'b) ->
+    combine:('b -> 'b -> 'b) ->
+    'a array ->
+    ('a, 'b) t
+  (** [create ~pad ~of_leaf ~combine init] builds the tree over a copy of
+      [init].  [combine] must be associative; [pad] must be neutral for
+      the aggregation (0 for sums, the identity view for vectors, ...):
+      it fills the leaves added to round the width up to a power of two.
+
+      @raise Invalid_argument on an empty [init]. *)
+
+  val update : ('a, 'b) t -> int -> 'a -> unit
+  (** Write component [i], then double-refresh the leaf-to-root path:
+      Theta(log m) LL/SC steps, wait-free.
+
+      @raise Invalid_argument if the index is out of range. *)
+
+  val read_root : ('a, 'b) t -> 'b
+  (** [f] applied to all components: one shared-memory step. *)
+
+  val size : ('a, 'b) t -> int
+  (** The number of (caller-visible) components [m]. *)
+end
