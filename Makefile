@@ -74,6 +74,34 @@ loadgen-smoke:
 	  -m 1024 -r 16 --domains 2 --mix 1u+1s --scan window --duration 500ms \
 	  --warmup 0.1s --seed 42 --json $(ARTIFACTS)/loadgen-sharded.json
 
+# Resilient-serving campaign (E17, docs/MODEL.md §11): the supervised
+# sharded front under combined nemeses.  Every Atomic scan is checked for
+# linearizability; every budget exhaustion must surface as Degraded; the
+# stuck-epoch runs must complete at least one shard rebuild with validated
+# post-rebuild scans; the loadgen run pins tail latency with one circuit
+# forced open.  JSON summaries land in _artifacts/ for CI upload.
+chaos-runtime:
+	dune build bin/simulate.exe bin/loadgen.exe
+	mkdir -p $(ARTIFACTS)
+	dune exec bin/simulate.exe -- --impl resilient --shards 4 \
+	  --nemesis chaos --stick-epoch 0 --seeds 10 --check \
+	  --json $(ARTIFACTS)/chaos-runtime-stuck-epoch.json
+	dune exec bin/simulate.exe -- --impl resilient --shards 4 \
+	  --stall-shard 1 --slow-pid 0 --seed 100 --seeds 10 --check \
+	  --json $(ARTIFACTS)/chaos-runtime-stall.json
+	dune exec bin/simulate.exe -- --impl resilient --shards 4 \
+	  --nemesis chaos --mem-faults corrupt,stale --mem-rate 0.02 \
+	  --mem-max 6 --stick-epoch 1 --seed 200 --seeds 10 --check \
+	  --json $(ARTIFACTS)/chaos-runtime-combined.json
+	dune exec bin/loadgen.exe -- --impl resilient --shards 4 \
+	  --partition range -m 1024 -r 16 --domains 2 --mix 1u+1s \
+	  --scan window --duration 500ms --warmup 0.1s --seed 42 \
+	  --json $(ARTIFACTS)/loadgen-resilient.json
+	dune exec bin/loadgen.exe -- --impl resilient --shards 4 \
+	  --partition range -m 1024 -r 16 --domains 2 --mix 1u+1s \
+	  --scan window --duration 500ms --warmup 0.1s --seed 42 \
+	  --open-shard 0 --json $(ARTIFACTS)/loadgen-resilient-open.json
+
 # The artifacts referenced by EXPERIMENTS.md.
 pin-outputs:
 	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
@@ -83,4 +111,4 @@ clean:
 	dune clean
 	rm -rf $(ARTIFACTS)
 
-.PHONY: all test lint bench chaos chaos-mem loadgen-smoke examples pin-outputs clean
+.PHONY: all test lint bench chaos chaos-mem chaos-runtime loadgen-smoke examples pin-outputs clean

@@ -25,9 +25,9 @@ let flat_impls : (string * (module Snapshot.S)) list =
   ]
 
 let impl_names =
-  List.map fst flat_impls @ [ "sharded"; "sharded-relaxed" ]
+  List.map fst flat_impls @ [ "sharded"; "sharded-relaxed"; "resilient" ]
 
-let impl_of ~shards ~partition name : (module Snapshot.S) =
+let impl_of ~shards ~partition ~open_shard name : (module Snapshot.S) =
   match name with
   | "sharded" | "sharded-relaxed" ->
     (module Psnap_runtime.Sharded.Make (Mem.Atomic) (Mc_fig3)
@@ -37,6 +37,39 @@ let impl_of ~shards ~partition name : (module Snapshot.S) =
                 let mode =
                   if name = "sharded" then `Validated else `Relaxed
               end))
+  | "resilient" ->
+    (* the supervised serving layer on real atomics; --open-shard pins one
+       circuit open for the whole run, so its scans are single-round
+       degraded fragments — the experiment behind the "a stalled shard
+       does not drag down the others" latency claim *)
+    let module RS =
+      Psnap_runtime.Resilient.Make (Mem.Atomic) (Mc_fig3) (Mc_fig3)
+        (struct
+          let shards = shards
+          let partition = partition
+          let max_rounds = 6
+          let backoff_base = 2
+          let backoff_max = 16
+          let breaker_threshold = 3
+          let breaker_cooldown = 4
+          let probe_successes = 2
+          let heal_quiesce = 64
+        end)
+    in
+    (module struct
+      include RS.Snap
+
+      let create ~n init =
+        let t = RS.Snap.create ~n init in
+        (match open_shard with
+        | Some s when s >= 0 && s < RS.nshards t -> RS.force_open t s
+        | Some s ->
+          Printf.eprintf "--open-shard %d out of range (0..%d)\n" s
+            (RS.nshards t - 1);
+          exit 2
+        | None -> ());
+        t
+    end)
   | _ -> (
     match List.assoc_opt name flat_impls with
     | Some m -> m
@@ -91,7 +124,7 @@ let write_json path fields =
       output_string oc "}\n")
 
 let run impl_name shards partition_name m r domains dist_name theta mix_s
-    rate scan_name duration warmup seed json_file =
+    rate scan_name duration warmup seed open_shard json_file =
   let partition =
     match partition_name with
     | "rr" | "round-robin" -> `Round_robin
@@ -135,8 +168,15 @@ let run impl_name shards partition_name m r domains dist_name theta mix_s
       seed;
     }
   in
-  let (module S : Snapshot.S) = impl_of ~shards ~partition impl_name in
+  let (module S : Snapshot.S) =
+    impl_of ~shards ~partition ~open_shard impl_name
+  in
+  Metrics.reset_serving ();
   let rep = Loadgen.run (module S) cfg in
+  (* serving-layer counters (sharded validation rounds, resilient breaker
+     activity and degraded scans); plain refs bumped from many domains, so
+     totals are approximate under contention — like the hardened stats *)
+  let sv = Metrics.serving () in
   let lat_row kind h =
     [
       kind;
@@ -169,11 +209,34 @@ let run impl_name shards partition_name m r domains dist_name theta mix_s
          lat_row "update" rep.Loadgen.update_lat;
          lat_row "scan" rep.Loadgen.scan_lat;
        ]);
+  if sv.Metrics.scan_rounds > 0 then
+    Printf.printf
+      "serving: %d scan rounds (%d retries), %d degraded scans, breaker \
+       o/h/c=%d/%d/%d\n"
+      sv.Metrics.scan_rounds sv.Metrics.scan_retries sv.Metrics.degraded_scans
+      sv.Metrics.breaker_opens sv.Metrics.breaker_half_opens
+      sv.Metrics.breaker_closes;
   Option.iter
     (fun path ->
       write_json path
         (Loadgen.json_fields ~impl:S.name cfg rep
-        @ [ ("shards", string_of_int shards); ("seed", string_of_int seed) ]);
+        @ [
+            ("shards", string_of_int shards);
+            ("seed", string_of_int seed);
+            ( "open_shard",
+              match open_shard with
+              | Some s -> string_of_int s
+              | None -> "null" );
+            ("scan_rounds", string_of_int sv.Metrics.scan_rounds);
+            ("scan_retries", string_of_int sv.Metrics.scan_retries);
+            ("degraded_scans", string_of_int sv.Metrics.degraded_scans);
+            ("backoff_steps", string_of_int sv.Metrics.backoff_steps);
+            ("breaker_opens", string_of_int sv.Metrics.breaker_opens);
+            ( "breaker_half_opens",
+              string_of_int sv.Metrics.breaker_half_opens );
+            ("breaker_closes", string_of_int sv.Metrics.breaker_closes);
+            ("heals_completed", string_of_int sv.Metrics.heals_completed);
+          ]);
       Printf.printf "json summary written to %s\n" path)
     json_file;
   0
@@ -256,6 +319,17 @@ let warmup =
 
 let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Workload seed.")
 
+let open_shard =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "open-shard" ] ~docv:"S"
+        ~doc:
+          "($(b,--impl resilient) only) Pin shard S's circuit breaker open \
+           for the whole run: its scans are served as single-round \
+           degraded fragments, demonstrating that an unavailable shard \
+           does not inflate the latency of scans on healthy shards.")
+
 let json_file =
   Arg.(
     value
@@ -269,6 +343,7 @@ let cmd =
        ~doc:"multicore load generator for partial snapshot objects")
     Term.(
       const run $ impl $ shards $ partition $ m $ r $ domains $ dist $ theta
-      $ mix $ rate $ scan_pattern $ duration $ warmup $ seed $ json_file)
+      $ mix $ rate $ scan_pattern $ duration $ warmup $ seed $ open_shard
+      $ json_file)
 
 let () = exit (Cmd.eval' cmd)

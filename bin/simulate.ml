@@ -35,7 +35,8 @@ let impls : (string * (module Snapshot.S)) list =
     ("fig3-selfcheck", (module Sim_fig3_selfcheck));
   ]
 
-let impl_names = List.map fst impls @ [ "sharded"; "sharded-relaxed" ]
+let impl_names =
+  List.map fst impls @ [ "sharded"; "sharded-relaxed"; "resilient" ]
 
 (* sharded implementations take their geometry from --shards, so they are
    built at runtime rather than listed statically *)
@@ -119,7 +120,257 @@ let write_json path fields =
         fields;
       output_string oc "}\n")
 
-let run impl_name shards m r updaters updates scanners scans sched_name
+(* The resilient serving layer gets a dedicated campaign: its scans return
+   an explicit [Atomic | Degraded] outcome, and the acceptance criteria are
+   different — every Atomic scan must linearize, every scan must respect
+   the round budget, Degraded scans are counted (never checked: their
+   cross-shard view is allowed to skew, that is what the flag means), and
+   with --stick-epoch the campaign must witness a completed shard rebuild
+   followed by fully-validated scans of the rebuilt shard. *)
+let run_resilient shards m r updaters updates scanners scans sched_name
+    seed_base seeds nemesis_name mem_kinds mem_rate mem_max stick_epoch
+    stall_shard slow_pid max_rounds json_file =
+  let module RS =
+    Psnap_runtime.Resilient.Make (Mem.Sim) (Sim_fig3_selfcheck)
+      (Sim_fig3_hardened)
+      (struct
+        let shards = shards
+        let partition = `Round_robin
+        let max_rounds = max_rounds
+        let backoff_base = 2
+        let backoff_max = 16
+        let breaker_threshold = 3
+        let breaker_cooldown = 4
+        let probe_successes = 2
+        let heal_quiesce = 64
+      end)
+  in
+  let n = updaters + scanners in
+  let scanner_pids = List.init scanners (fun j -> updaters + j) in
+  let init = Array.init m (fun i -> -(i + 1)) in
+  Mem.Sim.set_fault_tracking true;
+  Metrics.reset_mem_faults ();
+  Metrics.reset_serving ();
+  let violations = ref 0 in
+  let atomic_total = ref 0 in
+  let degraded_total = ref 0 in
+  let budget_overruns = ref 0 in
+  let post_heal_atomic = ref 0 in
+  let worst_rounds = ref 0 in
+  let worst_collects = ref 0 in
+  let total_crashes = ref 0 in
+  let total_restarts = ref 0 in
+  let total_steps = ref 0 in
+  let run_once ~sched =
+    let hist = History.create ~now:Sim.mark () in
+    (* Atomic scans are appended as hand-built entries: Degraded scans must
+       not reach the checker (their cross-shard skew is declared, not a
+       bug), and History.record cannot un-record an operation after its
+       outcome is known. *)
+    let atomic_entries = ref [] in
+    Sim.reset_prerun_oids ();
+    Mem.Hardened.reset_stats ();
+    let t = RS.create ~n (Array.copy init) in
+    let updater ~incarnation pid () =
+      let h = RS.handle t ~pid in
+      for k = 1 to updates do
+        let i = (k + (pid * 7)) mod m in
+        let v = (pid * 1_000_000) + (incarnation * 10_000) + k in
+        ignore
+          (History.record hist ~pid (Snapshot_spec.Update (i, v)) (fun () ->
+               RS.update h i v;
+               Snapshot_spec.Ack))
+      done
+    in
+    let scanner pid () =
+      let h = RS.handle t ~pid in
+      let idxs =
+        Array.init r (fun k -> ((pid - updaters) + (k * (m / max r 1))) mod m)
+        |> Array.to_list |> List.sort_uniq compare |> Array.of_list
+      in
+      for _ = 1 to scans do
+        let inv = Sim.mark () in
+        let out = RS.scan_outcome h idxs in
+        let resp = Sim.mark () in
+        let rounds = RS.last_scan_rounds h in
+        worst_rounds := max !worst_rounds rounds;
+        worst_collects := max !worst_collects (RS.last_scan_collects h);
+        if rounds > max_rounds then incr budget_overruns;
+        match out with
+        | RS.Atomic vs ->
+          incr atomic_total;
+          atomic_entries :=
+            {
+              History.pid;
+              op = Snapshot_spec.Scan idxs;
+              res = Some (Snapshot_spec.Vals vs);
+              inv;
+              resp = Some resp;
+            }
+            :: !atomic_entries;
+          (match stick_epoch with
+          | Some s
+            when s < RS.nshards t
+                 && Array.exists (fun i -> i mod RS.nshards t = s) idxs
+                 && RS.shard_gen t ~pid s > 1 ->
+            incr post_heal_atomic
+          | _ -> ())
+        | RS.Degraded _ -> incr degraded_total
+      done
+    in
+    let body ~incarnation pid =
+      if pid < updaters then updater ~incarnation pid else scanner pid
+    in
+    let procs = Array.init n (fun pid -> body ~incarnation:1 pid) in
+    let recover = Some (fun ~pid ~incarnation -> body ~incarnation pid) in
+    let res = Sim.run ?recover ~sched procs in
+    let viols =
+      Snapshot_spec.check_observations ~init
+        (History.entries hist @ !atomic_entries)
+    in
+    total_crashes := !total_crashes + List.length res.crashed;
+    total_restarts :=
+      !total_restarts
+      + Array.fold_left (fun a i -> a + (i - 1)) 0 res.incarnations;
+    total_steps := !total_steps + res.clock;
+    if viols <> [] then begin
+      violations := !violations + List.length viols;
+      List.iter (fun v -> Fmt.pr "  %a@." Snapshot_spec.pp_violation v) viols
+    end
+  in
+  for s = 0 to seeds - 1 do
+    let seed = seed_base + s in
+    let sched =
+      let w = sched_of sched_name ~scanner_pids ~seed in
+      let w = nemesis_of nemesis_name ~seed w in
+      let w =
+        match mem_kinds with
+        | Some kinds ->
+          Scheduler.mem_storm ~seed ~kinds ~rate:mem_rate ~max_faults:mem_max
+            w
+        | None -> w
+      in
+      let w =
+        match stick_epoch with
+        | Some sh ->
+          Scheduler.mem_fault_on_cell ~kind:Event.Stuck_cell
+            ~name_prefix:(Printf.sprintf "rshard%d.epoch" sh)
+            w
+        | None -> w
+      in
+      let w =
+        match stall_shard with
+        | Some sh ->
+          Scheduler.stall_shard ~shard:sh ~from_clock:50 ~until_clock:450 w
+        | None -> w
+      in
+      match slow_pid with
+      | Some p -> Scheduler.slow_domain ~pid:p w
+      | None -> w
+    in
+    run_once ~sched
+  done;
+  let sv = Metrics.serving () in
+  Printf.printf
+    "%s: m=%d r=%d %d updaters x %d, %d scanners x %d, %s, %d runs%s%s%s\n"
+    RS.name m r updaters updates scanners scans sched_name seeds
+    (if nemesis_name <> "none" then ", nemesis " ^ nemesis_name else "")
+    (match stick_epoch with
+    | Some s -> Printf.sprintf ", stick-epoch shard %d" s
+    | None -> "")
+    (match stall_shard with
+    | Some s -> Printf.sprintf ", stall shard %d" s
+    | None -> "");
+  Printf.printf
+    "scans: %d atomic, %d degraded; worst rounds %d (budget %d), worst \
+     collects %d\n"
+    !atomic_total !degraded_total !worst_rounds max_rounds !worst_collects;
+  Printf.printf "faults: %d crashes, %d restarts\n" !total_crashes
+    !total_restarts;
+  Fmt.pr "%a@." Metrics.pp_serving sv;
+  let mf = Metrics.mem_faults () in
+  if Metrics.total_injected mf > 0 then Fmt.pr "%a@." Metrics.pp_mem_faults mf;
+  Option.iter
+    (fun path ->
+      write_json path
+        [
+          ("impl", Printf.sprintf "%S" RS.name);
+          ("sched", Printf.sprintf "%S" sched_name);
+          ("nemesis", Printf.sprintf "%S" nemesis_name);
+          ("seed_base", string_of_int seed_base);
+          ("runs", string_of_int seeds);
+          ("steps", string_of_int !total_steps);
+          ("crashes", string_of_int !total_crashes);
+          ("restarts", string_of_int !total_restarts);
+          ("violations", string_of_int !violations);
+          ("atomic_scans", string_of_int !atomic_total);
+          ("degraded_scans", string_of_int !degraded_total);
+          ("budget_overruns", string_of_int !budget_overruns);
+          ("post_heal_atomic_scans", string_of_int !post_heal_atomic);
+          ("worst_rounds", string_of_int !worst_rounds);
+          ("scan_rounds", string_of_int sv.Metrics.scan_rounds);
+          ("scan_retries", string_of_int sv.Metrics.scan_retries);
+          ("backoff_steps", string_of_int sv.Metrics.backoff_steps);
+          ("breaker_opens", string_of_int sv.Metrics.breaker_opens);
+          ("breaker_half_opens", string_of_int sv.Metrics.breaker_half_opens);
+          ("breaker_closes", string_of_int sv.Metrics.breaker_closes);
+          ("heals_started", string_of_int sv.Metrics.heals_started);
+          ("heals_completed", string_of_int sv.Metrics.heals_completed);
+          ("heals_aborted", string_of_int sv.Metrics.heals_aborted);
+          ("stuck_epochs", string_of_int sv.Metrics.stuck_epochs);
+          ("mem_faults_injected", string_of_int (Metrics.total_injected mf));
+          ("mem_faults_detected", string_of_int (Metrics.total_detected mf));
+        ];
+      Printf.printf "json summary written to %s\n" path)
+    json_file;
+  let fail = ref false in
+  if !violations > 0 then begin
+    Printf.printf "checker: %d VIOLATIONS among atomic scans\n" !violations;
+    fail := true
+  end
+  else
+    Printf.printf
+      "checker: all %d atomic scans linearizable (observation check)\n"
+      !atomic_total;
+  if !budget_overruns > 0 then begin
+    Printf.printf "budget: %d scans exceeded %d rounds without degrading\n"
+      !budget_overruns max_rounds;
+    fail := true
+  end;
+  (match stick_epoch with
+  | Some _ ->
+    if sv.Metrics.heals_completed = 0 then begin
+      Printf.printf
+        "heal: stuck epoch injected but no shard rebuild completed\n";
+      fail := true
+    end
+    else if !post_heal_atomic = 0 then begin
+      Printf.printf
+        "heal: shard rebuilt but no fully-validated scan touched it \
+         afterwards\n";
+      fail := true
+    end
+    else
+      Printf.printf
+        "heal: %d rebuild(s) completed, %d validated post-rebuild scans\n"
+        sv.Metrics.heals_completed !post_heal_atomic
+  | None -> ());
+  if !fail then 1 else 0
+
+let rec run impl_name shards m r updaters updates scanners scans sched_name
+    seed_base seeds check crash_at nemesis_name mem_faults_arg mem_rate
+    mem_max expect_violations shrink replay_file json_file stick_epoch
+    stall_shard slow_pid max_rounds =
+  if impl_name = "resilient" then
+    run_resilient shards m r updaters updates scanners scans sched_name
+      seed_base seeds nemesis_name
+      (mem_kinds_of mem_faults_arg)
+      mem_rate mem_max stick_epoch stall_shard slow_pid max_rounds json_file
+  else run_flat impl_name shards m r updaters updates scanners scans
+    sched_name seed_base seeds check crash_at nemesis_name mem_faults_arg
+    mem_rate mem_max expect_violations shrink replay_file json_file
+
+and run_flat impl_name shards m r updaters updates scanners scans sched_name
     seed_base seeds check crash_at nemesis_name mem_faults_arg mem_rate
     mem_max expect_violations shrink replay_file json_file =
   let mem_kinds = mem_kinds_of mem_faults_arg in
@@ -129,6 +380,7 @@ let run impl_name shards m r updaters updates scanners scans sched_name
      decisions even when --mem-faults is off. *)
   Mem.Sim.set_fault_tracking true;
   Metrics.reset_mem_faults ();
+  Metrics.reset_serving ();
   let (module S : Snapshot.S) = impl_of ~shards impl_name in
   if r > m then (
     Printf.eprintf "r (%d) must be <= m (%d)\n" r m;
@@ -352,6 +604,10 @@ let run impl_name shards m r updaters updates scanners scans sched_name
       0 !samples
   in
   Printf.printf "max interval contention seen by a scan: %d\n" cu;
+  let sv = Metrics.serving () in
+  if sv.Metrics.scan_rounds > 0 then
+    Printf.printf "scan validation: %d rounds total, %d retry rounds\n"
+      sv.Metrics.scan_rounds sv.Metrics.scan_retries;
   Option.iter
     (fun path ->
       write_json path
@@ -365,6 +621,8 @@ let run impl_name shards m r updaters updates scanners scans sched_name
           ("crashes", string_of_int !total_crashes);
           ("restarts", string_of_int !total_restarts);
           ("violations", string_of_int !violations);
+          ("scan_rounds", string_of_int sv.Metrics.scan_rounds);
+          ("scan_retries", string_of_int sv.Metrics.scan_retries);
           ("mem_faults_injected", string_of_int (Metrics.total_injected mf));
           ("mem_faults_detected", string_of_int (Metrics.total_detected mf));
           ( "hardened_repairs",
@@ -517,6 +775,45 @@ let json_file =
     & info [ "json" ] ~docv:"FILE"
         ~doc:"Write a machine-readable campaign summary to FILE.")
 
+let stick_epoch =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "stick-epoch" ] ~docv:"SHARD"
+        ~doc:
+          "($(b,--impl resilient) only) Stick shard SHARD's epoch cell at \
+           its first access: updates keep drawing duplicate epochs until \
+           the stuck-epoch detector triggers a shard rebuild.  The \
+           campaign then requires at least one completed rebuild and a \
+           fully-validated scan of the rebuilt shard.")
+
+let stall_shard =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "stall-shard" ] ~docv:"SHARD"
+        ~doc:
+          "($(b,--impl resilient) only) Latency nemesis: withhold every \
+           access to shard SHARD's cells during clock window [50, 450], \
+           running other processes instead.")
+
+let slow_pid =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "slow-pid" ] ~docv:"PID"
+        ~doc:
+          "($(b,--impl resilient) only) Latency nemesis: let PID take only \
+           every 8th of its scheduled steps (a slow domain).")
+
+let max_rounds =
+  Arg.(
+    value & opt int 6
+    & info [ "max-rounds" ] ~docv:"N"
+        ~doc:
+          "($(b,--impl resilient) only) Scan round budget: a validated \
+           cross-shard scan degrades explicitly after N rounds.")
+
 let cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"drive partial snapshot workloads in the simulator")
@@ -524,6 +821,7 @@ let cmd =
       const run $ impl $ shards $ m $ r $ updaters $ updates $ scanners
       $ scans $ sched $ seed_base $ seeds $ check $ crash_at $ nemesis
       $ mem_faults_arg $ mem_rate $ mem_max $ expect_violations $ shrink
-      $ replay_file $ json_file)
+      $ replay_file $ json_file $ stick_epoch $ stall_shard $ slow_pid
+      $ max_rounds)
 
 let () = exit (Cmd.eval' cmd)

@@ -139,6 +139,7 @@ module Llsc = Psnap_mem.Llsc
     snapshot instances, multicore load generation, latency histograms. *)
 module Runtime = struct
   module Sharded = Psnap_runtime.Sharded
+  module Resilient = Psnap_runtime.Resilient
   module Loadgen = Psnap_runtime.Loadgen
   module Histogram = Psnap_runtime.Histogram
 end
@@ -215,6 +216,28 @@ module Sim_aset_fai_selfcheck =
     cells). *)
 module Sim_fig3_selfcheck =
   Psnap_snapshot.Partial_cas.Make (Mem.Sim_selfcheck) (Sim_aset_fai_selfcheck)
+
+(** The resilient serving layer on the simulator (docs/MODEL.md §11,
+    EXPERIMENTS.md E17): Figure 3 over self-validating registers as the
+    primary per-shard implementation, healed shards rebuilt on Figure 3
+    over 3-fold replicated registers.  Spine cells (shard pointers, epoch
+    sources, inflight counters) are plain simulator cells, so the chaos
+    campaigns can target them by name (["rshard0.epoch"], ...).  Build
+    other geometries and budgets directly with {!Runtime.Resilient.Make}. *)
+module Sim_resilient_fig3 =
+  Psnap_runtime.Resilient.Make (Mem.Sim) (Sim_fig3_selfcheck)
+    (Sim_fig3_hardened)
+    (struct
+      let shards = 4
+      let partition = `Round_robin
+      let max_rounds = 6
+      let backoff_base = 2
+      let backoff_max = 16
+      let breaker_threshold = 3
+      let breaker_cooldown = 4
+      let probe_successes = 2
+      let heal_quiesce = 64
+    end)
 
 (* ---- Pre-applied instances: multicore (Atomic) backend ---- *)
 

@@ -1,0 +1,45 @@
+(** Load-linked / store-conditional emulated over compare&swap.
+
+    [Make (M)] builds LL/SC cells on any {!Mem_intf.S} backend.  Every
+    successful SC installs a freshly allocated box, and [sc] validates by
+    CAS on {e physical equality} of the box returned by [ll] — so an SC
+    succeeds exactly when no other successful SC intervened since the
+    matching LL, even if the stored {e value} went away and came back.
+    This is the standard ABA-free emulation of LL/SC in a
+    garbage-collected runtime, and the primitive assumed by the f-array
+    of Jayanti [20], discussed in the paper's related work (Section 5).
+
+    Costs: [ll] and [read] are one shared-memory step, [sc] is one step
+    (the CAS).  A failed SC leaves the cell unchanged.
+
+    The reservation is carried by the returned {!tag}, not by the cell:
+    any number of processes may hold overlapping reservations, and a
+    process may hold reservations on many cells at once (unlike hardware
+    LL/SC, there is no spurious failure and no single-reservation
+    limit). *)
+
+module Make (M : Mem_intf.S) : sig
+  type 'a t
+  (** An LL/SC cell holding values of type ['a]. *)
+
+  type 'a tag
+  (** Reservation witness returned by {!ll}, consumed by {!sc}.  Opaque;
+      valid until the next {e successful} SC on the same cell. *)
+
+  val make : ?name:string -> 'a -> 'a t
+  (** [make ?name v] — a fresh cell initialized to [v].  [name] labels
+      the underlying cell for traces and fault targeting, as in
+      {!Mem_intf.S.make}. *)
+
+  val ll : 'a t -> 'a * 'a tag
+  (** [ll t] — the current value together with the tag that a subsequent
+      {!sc} validates against. *)
+
+  val sc : 'a t -> 'a tag -> 'a -> bool
+  (** [sc t tag v] — store [v] and return [true] iff no successful SC
+      happened on [t] since the {!ll} that returned [tag]; otherwise
+      leave [t] unchanged and return [false]. *)
+
+  val read : 'a t -> 'a
+  (** Plain read, no reservation. *)
+end

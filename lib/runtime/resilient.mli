@@ -1,0 +1,190 @@
+(** Resilient serving: deadlines, backoff, circuit breakers and
+    self-healing shards over sharded partial snapshots.
+
+    [Make (M) (S) (R) (C)] supervises a {!Sharded}-style construction —
+    [C.shards] instances of the primary snapshot implementation [S] over
+    memory backend [M], epoch-validated cross-shard scans — and makes
+    every operation {e bounded and honest}: an operation either completes
+    with its full guarantee or returns an explicit, machine-readable
+    account of what it could not guarantee.  It never retries without
+    bound and never silently serves a skewed cross-shard view.
+
+    {2 Deadlines and backoff}
+
+    A validated cross-shard scan runs agreement rounds exactly like
+    {!Sharded}, but under a round budget [C.max_rounds].  Between failed
+    rounds it backs off — bounded exponential delay with deterministic
+    (pid, attempt)-derived jitter, spent as reads of a scratch cell so
+    each delay unit is a scheduling point in the simulator and a cheap
+    spin on real atomics.  When the budget is exhausted the scan returns
+    [Degraded] carrying the last round's values (each shard's fragment is
+    still an atomic sub-snapshot), the suspect shards, and the
+    [(component, epoch)] pairs that failed validation.  See
+    docs/MODEL.md §11 for the exact degradation contract.
+
+    {2 Circuit breakers}
+
+    Each shard has a closed / open / half-open breaker fed by three
+    evidence streams: hardened-register fault detections
+    ({!Psnap_mem.Hardened.stats} deltas sampled around each sub-scan),
+    validation-failure attribution from budget-exhausted scans, and
+    stuck-epoch detections from updates.  [C.breaker_threshold]
+    consecutive strikes open the circuit; while open, scans read the
+    shard once, {e unvalidated}, report it in [Degraded.suspects], and do
+    not burn validation rounds on it — a stalled or fault-saturated shard
+    cannot drag down scans of healthy shards.  After
+    [C.breaker_cooldown] scans the breaker half-opens and probes:
+    [C.probe_successes] consecutive validated scans re-close it; one
+    failed probe reopens it.
+
+    {2 Self-healing}
+
+    A stuck epoch cell (fetch&add that stopped adding) is detected by
+    non-monotone epoch draws and triggers a heal: the shard pointer is
+    CASed from [Active] to [Sealed] (updaters that see [Sealed] back off
+    and help), the healer waits — boundedly, [C.heal_quiesce] probes —
+    for in-flight updates to drain, takes one final sub-scan of the
+    quiescent instance, rebuilds it on the {e replacement} implementation
+    [R] (typically hardened, replicated memory) with a fresh epoch cell,
+    and CASes the new instance in with a bumped generation.  Handles
+    re-resolve their per-shard sub-handles by generation, so the swap is
+    transparent.  If quiescence is never reached (e.g. an updater crashed
+    inside its window) the heal {e aborts} and restores the old instance:
+    bounded failure, not an unbounded wait.
+
+    Correctness of the swap rests on the inflight protocol: an update
+    holds a per-shard inflight token from {e before} it reads the shard
+    pointer until {e after} it installs its value, so [Sealed] + counter
+    at zero implies no update can ever land on the old instance again,
+    and the final sub-scan captures the shard's exact last state.
+
+    Updates remain bounded: even with a stuck epoch cell the update
+    installs immediately — tags are [(epoch, nonce)] pairs and the nonce
+    alone makes every tag unique, so validation never mistakes a changed
+    component for an unchanged one even while epochs repeat.
+
+    All supervision events are counted in {!Psnap_sched.Metrics}
+    ([serving]): rounds, retries, degraded scans, backoff steps, breaker
+    transitions, heals, stuck epochs. *)
+
+module type CONFIG = sig
+  val shards : int
+  (** Number of shards (clamped to [m] at [create]). *)
+
+  val partition : [ `Round_robin | `Range ]
+  (** Component placement, as in {!Sharded.CONFIG}. *)
+
+  val max_rounds : int
+  (** Scan round budget, ≥ 2.  A validated cross-shard scan runs at most
+      this many rounds before returning [Degraded]. *)
+
+  val backoff_base : int
+  (** Backoff delay after the first failed validation round, in scratch
+      reads (= simulator steps).  [0] disables backoff. *)
+
+  val backoff_max : int
+  (** Cap on the exponential delay (before jitter, which adds at most the
+      same amount again). *)
+
+  val breaker_threshold : int
+  (** Consecutive strikes that open a shard's circuit. *)
+
+  val breaker_cooldown : int
+  (** Scans touching an open shard before its breaker half-opens. *)
+
+  val probe_successes : int
+  (** Consecutive validated scans that re-close a half-open breaker. *)
+
+  val heal_quiesce : int
+  (** Inflight-counter probes a healer spends waiting for quiescence
+      before aborting the heal, ≥ 1. *)
+end
+
+module Make
+    (M : Psnap_mem.Mem_intf.S)
+    (S : Psnap_snapshot.Snapshot_intf.S)
+    (R : Psnap_snapshot.Snapshot_intf.S)
+    (C : CONFIG) : sig
+  type 'a t
+
+  type 'a handle
+
+  type breaker_state = Closed | Open | Half_open
+
+  type 'a outcome =
+    | Atomic of 'a array
+        (** fully validated: linearizable across all touched shards *)
+    | Degraded of {
+        values : 'a array;
+            (** best-effort view: every shard's fragment is individually
+                an atomic sub-snapshot of that shard, but cross-shard
+                consistency is NOT guaranteed *)
+        suspects : int list;
+            (** shards that were skipped (breaker open) or still failed
+                validation when the round budget ran out *)
+        failed : (int * int) list;
+            (** [(component index, last observed epoch)] for each
+                component that failed validation in the final round pair;
+                empty when degradation is due to open breakers only *)
+        rounds : int;  (** rounds actually spent *)
+      }
+
+  val name : string
+
+  val create : n:int -> 'a array -> 'a t
+
+  val handle : 'a t -> pid:int -> 'a handle
+
+  val update : 'a handle -> int -> 'a -> unit
+  (** Bounded: one inflight increment, one pointer read, one epoch draw,
+      one [S.update]/[R.update], one decrement — retried only across a
+      heal of the target shard, which itself is bounded. *)
+
+  val scan_outcome : 'a handle -> int array -> 'a outcome
+  (** The honest scan: [Atomic] or an explicit [Degraded] account.  At
+      most [C.max_rounds] rounds.  Also recorded in
+      {!Psnap_sched.Metrics} ([note_scan_rounds], [note_degraded_scan],
+      [note_backoff]). *)
+
+  val scan : 'a handle -> int array -> 'a array
+  (** [scan_outcome] projected to values (the
+      {!Psnap_snapshot.Snapshot_intf.S} shape); check
+      [last_scan_degraded] to tell the outcomes apart. *)
+
+  val last_scan_collects : 'a handle -> int
+
+  val last_scan_rounds : 'a handle -> int
+  (** Rounds spent by this handle's most recent scan (≤ [C.max_rounds]). *)
+
+  val last_scan_degraded : 'a handle -> bool
+  (** Whether this handle's most recent scan returned [Degraded]. *)
+
+  val nshards : 'a t -> int
+  (** Effective shard count ([min C.shards m]). *)
+
+  val breaker_state : 'a t -> int -> breaker_state
+
+  val force_open : 'a t -> int -> unit
+  (** Open shard [s]'s breaker and pin it open (cooldown never elapses):
+      for experiments that hold a circuit open for a whole run. *)
+
+  val heal : 'a t -> pid:int -> int -> unit
+  (** Seal shard [s] and drive a heal to completion or bounded abort.
+      Performs shared-memory accesses: call only from inside a running
+      process (in the simulator, inside [Sim.run]). *)
+
+  val shard_gen : 'a t -> pid:int -> int -> int
+  (** Shard [s]'s current generation (1 initially, +1 per completed
+      heal).  One shared read. *)
+
+  (** The plain snapshot face, for [S]-generic harnesses (the load
+      generator, the benchmarks): [scan] returns values, with [Degraded]
+      visible only through [last_scan_degraded] and the metrics
+      counters.  Shares ['a t] and ['a handle] with the outer module, so
+      [force_open] / [heal] / [breaker_state] apply to objects created
+      through [Snap.create]. *)
+  module Snap :
+    Psnap_snapshot.Snapshot_intf.S
+      with type 'a t = 'a t
+       and type 'a handle = 'a handle
+end

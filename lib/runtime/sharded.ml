@@ -19,7 +19,8 @@ end
 module Make
     (M : Psnap_mem.Mem_intf.S)
     (S : Psnap_snapshot.Snapshot_intf.S)
-    (C : CONFIG) : Psnap_snapshot.Snapshot_intf.S = struct
+    (C : CONFIG) =
+struct
   let relaxed = C.mode = `Relaxed
 
   let name =
@@ -43,6 +44,7 @@ module Make
     t : 'a t;
     hs : (int * 'a) S.handle array;
     mutable collects : int;
+    mutable rounds : int;  (** validation rounds of the most recent scan *)
   }
 
   (* component i -> (shard, local index) *)
@@ -87,7 +89,12 @@ module Make
     { sub; epochs; nshards; m; q; rem }
 
   let handle t ~pid =
-    { t; hs = Array.map (fun st -> S.handle st ~pid) t.sub; collects = 0 }
+    {
+      t;
+      hs = Array.map (fun st -> S.handle st ~pid) t.sub;
+      collects = 0;
+      rounds = 0;
+    }
 
   let update h i v =
     let t = h.t in
@@ -100,6 +107,7 @@ module Make
     let t = h.t in
     let len = Array.length idxs in
     h.collects <- 0;
+    h.rounds <- 0;
     if len = 0 then [||]
     else begin
       Array.iter
@@ -127,6 +135,7 @@ module Make
       (* one round: a partial scan of every touched shard.  Each sub-scan
          is linearizable on its own; rounds execute sequentially. *)
       let round () =
+        h.rounds <- h.rounds + 1;
         Array.init nt (fun k ->
             let r = S.scan h.hs.(touched.(k)) sub_idx.(k) in
             h.collects <- h.collects + S.last_scan_collects h.hs.(touched.(k));
@@ -156,24 +165,30 @@ module Make
         done;
         out
       in
-      if relaxed || nt = 1 then
-        (* a single sub-scan is linearizable on its own: scans that stay
-           inside one shard (the common case under range partitioning
-           with window workloads) need no validation round *)
-        emit (round ())
-      else begin
-        (* sliding double collect over whole rounds: retry costs one
-           extra round, and only when some touched component really
-           changed — lock-free, and never stuck behind a crashed updater
-           (a crashed update either installed its epoch or never will;
-           neither makes consecutive rounds disagree forever). *)
-        let rec settle prev =
-          let cur = round () in
-          if agree prev cur then emit cur else settle cur
-        in
-        settle (round ())
-      end
+      let out =
+        if relaxed || nt = 1 then
+          (* a single sub-scan is linearizable on its own: scans that stay
+             inside one shard (the common case under range partitioning
+             with window workloads) need no validation round *)
+          emit (round ())
+        else begin
+          (* sliding double collect over whole rounds: retry costs one
+             extra round, and only when some touched component really
+             changed — lock-free, and never stuck behind a crashed updater
+             (a crashed update either installed its epoch or never will;
+             neither makes consecutive rounds disagree forever). *)
+          let rec settle prev =
+            let cur = round () in
+            if agree prev cur then emit cur else settle cur
+          in
+          settle (round ())
+        end
+      in
+      Psnap_sched.Metrics.note_scan_rounds h.rounds;
+      out
     end
 
   let last_scan_collects h = h.collects
+
+  let last_scan_rounds h = h.rounds
 end

@@ -78,8 +78,18 @@ end
     load generator — exactly like a flat instance.
     [last_scan_collects] reports the sub-scan collects summed over every
     round of the most recent scan, so validation retries show up in the
-    collect statistics. *)
+    collect statistics.  Every scan also reports its round count through
+    [Psnap_sched.Metrics.note_scan_rounds], so validation retry rates are
+    visible in campaign summaries without threading handles around. *)
 module Make
     (M : Psnap_mem.Mem_intf.S)
     (S : Psnap_snapshot.Snapshot_intf.S)
-    (C : CONFIG) : Psnap_snapshot.Snapshot_intf.S
+    (C : CONFIG) : sig
+  include Psnap_snapshot.Snapshot_intf.S
+
+  val last_scan_rounds : 'a handle -> int
+  (** Validation rounds of this handle's most recent [scan] (1 for relaxed
+      or single-shard scans; ≥ 2 for validated cross-shard scans, where
+      every round beyond the second is a retry forced by a concurrent
+      update). *)
+end

@@ -99,6 +99,106 @@ let pp_sanitizer ppf s =
   Format.fprintf ppf "sanitizer: strict=%b checked=%d escaped=%d" s.strict
     s.checked s.escaped
 
+(** {2 Serving-layer counters} *)
+
+(* Global counters bumped by the Psnap_runtime serving layer (Sharded scan
+   validation, the Resilient supervision layer).  Plain references, like
+   [Hardened]'s stats: exact under the cooperative simulator, approximate
+   (unsynchronized increments) under the multi-domain loadgen — they are
+   observability signals, not linearizable state. *)
+
+let s_scan_rounds = ref 0
+
+let s_scan_retries = ref 0
+
+let s_degraded_scans = ref 0
+
+let s_backoff_steps = ref 0
+
+let s_breaker_opens = ref 0
+
+let s_breaker_half_opens = ref 0
+
+let s_breaker_closes = ref 0
+
+let s_heals_started = ref 0
+
+let s_heals_completed = ref 0
+
+let s_heals_aborted = ref 0
+
+let s_stuck_epochs = ref 0
+
+type serving = {
+  scan_rounds : int;
+  scan_retries : int;
+  degraded_scans : int;
+  backoff_steps : int;
+  breaker_opens : int;
+  breaker_half_opens : int;
+  breaker_closes : int;
+  heals_started : int;
+  heals_completed : int;
+  heals_aborted : int;
+  stuck_epochs : int;
+}
+
+let serving () =
+  {
+    scan_rounds = !s_scan_rounds;
+    scan_retries = !s_scan_retries;
+    degraded_scans = !s_degraded_scans;
+    backoff_steps = !s_backoff_steps;
+    breaker_opens = !s_breaker_opens;
+    breaker_half_opens = !s_breaker_half_opens;
+    breaker_closes = !s_breaker_closes;
+    heals_started = !s_heals_started;
+    heals_completed = !s_heals_completed;
+    heals_aborted = !s_heals_aborted;
+    stuck_epochs = !s_stuck_epochs;
+  }
+
+let reset_serving () =
+  s_scan_rounds := 0;
+  s_scan_retries := 0;
+  s_degraded_scans := 0;
+  s_backoff_steps := 0;
+  s_breaker_opens := 0;
+  s_breaker_half_opens := 0;
+  s_breaker_closes := 0;
+  s_heals_started := 0;
+  s_heals_completed := 0;
+  s_heals_aborted := 0;
+  s_stuck_epochs := 0
+
+let note_scan_rounds rounds =
+  s_scan_rounds := !s_scan_rounds + rounds;
+  if rounds > 2 then s_scan_retries := !s_scan_retries + (rounds - 2)
+
+let note_degraded_scan () = incr s_degraded_scans
+
+let note_backoff steps = s_backoff_steps := !s_backoff_steps + steps
+
+let note_breaker = function
+  | `Open -> incr s_breaker_opens
+  | `Half_open -> incr s_breaker_half_opens
+  | `Close -> incr s_breaker_closes
+
+let note_heal = function
+  | `Started -> incr s_heals_started
+  | `Completed -> incr s_heals_completed
+  | `Aborted -> incr s_heals_aborted
+
+let note_stuck_epoch () = incr s_stuck_epochs
+
+let pp_serving ppf s =
+  Format.fprintf ppf
+    "serving: rounds=%d retries=%d degraded=%d backoff=%d breaker \
+     o/h/c=%d/%d/%d heals s/c/a=%d/%d/%d stuck-epochs=%d"
+    s.scan_rounds s.scan_retries s.degraded_scans s.backoff_steps
+    s.breaker_opens s.breaker_half_opens s.breaker_closes s.heals_started
+    s.heals_completed s.heals_aborted s.stuck_epochs
+
 (** {2 Memory faults} *)
 
 type fault_line = {

@@ -68,6 +68,50 @@ val reset_sanitizer : unit -> unit
 
 val pp_sanitizer : Format.formatter -> sanitizer -> unit
 
+(** {2 Serving-layer counters}
+
+    Global counters bumped by the [Psnap_runtime] serving layer: validation
+    rounds and retries of sharded scans, degraded-scan and backoff totals,
+    circuit-breaker transitions, and shard-heal outcomes of the resilient
+    supervision layer (docs/MODEL.md §11).  Plain references, like the
+    hardened-register stats: exact under the cooperative simulator,
+    approximate (unsynchronized increments) under the multi-domain
+    loadgen. *)
+
+type serving = {
+  scan_rounds : int;  (** per-shard sub-scan rounds executed by scans *)
+  scan_retries : int;  (** rounds beyond the minimal validating pair *)
+  degraded_scans : int;  (** scans that returned a [Degraded] result *)
+  backoff_steps : int;  (** base-memory reads spent backing off *)
+  breaker_opens : int;  (** circuit transitions into [Open] *)
+  breaker_half_opens : int;  (** transitions into [Half_open] *)
+  breaker_closes : int;  (** transitions back into [Closed] *)
+  heals_started : int;  (** shard rebuilds initiated (shard sealed) *)
+  heals_completed : int;  (** rebuilds swapped in atomically *)
+  heals_aborted : int;  (** rebuilds abandoned (quiescence timeout) *)
+  stuck_epochs : int;  (** non-monotone epoch draws detected by updates *)
+}
+
+val serving : unit -> serving
+
+val reset_serving : unit -> unit
+
+(** Bump API used by [Psnap_runtime.Sharded] / [Psnap_runtime.Resilient]. *)
+
+val note_scan_rounds : int -> unit
+
+val note_degraded_scan : unit -> unit
+
+val note_backoff : int -> unit
+
+val note_breaker : [ `Open | `Half_open | `Close ] -> unit
+
+val note_heal : [ `Started | `Completed | `Aborted ] -> unit
+
+val note_stuck_epoch : unit -> unit
+
+val pp_serving : Format.formatter -> serving -> unit
+
 (** {2 Memory faults}
 
     Per-kind injection counters from the simulated memory

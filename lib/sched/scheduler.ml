@@ -29,6 +29,12 @@ type view = {
       (** the cell a runnable pid is suspended at — what a memory-fault
           nemesis needs to corrupt "the cell this process is about to CAS";
           [None] for pids that are not runnable *)
+  name_of : int -> string option;
+      (** the {e name} of the cell a runnable pid is suspended at (the
+          label passed to [make ~name]) — what a latency or fault nemesis
+          needs to target a structure ("stall every access to shard 2")
+          without knowing cell oids; [None] for pids that are not
+          runnable *)
   steps_of : int -> int;
       (** shared-memory steps executed so far by a pid (across all its
           incarnations) *)
@@ -514,6 +520,110 @@ let mem_storm ~seed ?(kinds = Event.all_fault_kinds) ?(rate = 0.02)
     else inner.pick v
   in
   { name = Printf.sprintf "mem-storm(%d)+%s" seed inner.name; pick }
+
+(** Targeted memory fault by cell {e name}: once the clock reaches
+    [at_clock], inject a fault of [kind] into the first cell some runnable
+    process is suspended at whose name starts with [name_prefix].  One
+    shot.  This is how a campaign deterministically wounds a named
+    structure — e.g. [~kind:Event.Stuck_cell ~name_prefix:"rshard1.epoch"]
+    sticks shard 1's epoch source, the trigger for the resilient layer's
+    self-healing path — without knowing cell oids (which depend on
+    allocation order). *)
+let mem_fault_on_cell ~kind ~name_prefix ?(at_clock = 0) inner =
+  let done_ = ref false in
+  let pick v =
+    if !done_ || v.clock < at_clock then inner.pick v
+    else begin
+      let target =
+        Array.fold_left
+          (fun acc p ->
+            match acc with
+            | Some _ -> acc
+            | None -> (
+              match (v.name_of p, v.oid_of p) with
+              | Some n, Some oid
+                when String.starts_with ~prefix:name_prefix n ->
+                Some oid
+              | _ -> None))
+          None v.runnable
+      in
+      match target with
+      | Some oid ->
+        done_ := true;
+        Mem_fault { kind; oid }
+      | None -> inner.pick v
+    end
+  in
+  { name = inner.name ^ "+fault-on-cell"; pick }
+
+(* ---- latency-fault nemeses ---- *)
+
+(** [stall_cells ~matches ~from_clock ~until_clock inner] refuses, inside
+    the clock window, to schedule any process whose pending access targets
+    a cell whose name satisfies [matches]: the access stays pending, the
+    process is {e stalled} without being crashed (its local state
+    survives).  When every runnable process is stalled the window is
+    punched through — one stalled process runs — so the run never
+    livelocks; outside the window, and for non-matching processes, [inner]
+    decides.  The deterministic detour choice derives from the clock. *)
+let stall_cells ~matches ~from_clock ~until_clock inner =
+  let stalled v p =
+    match v.name_of p with Some n -> matches n | None -> false
+  in
+  let pick v =
+    if v.clock < from_clock || v.clock >= until_clock then inner.pick v
+    else
+      let free =
+        Array.to_list v.runnable |> List.filter (fun p -> not (stalled v p))
+      in
+      match free with
+      | [] -> inner.pick v
+      | _ -> (
+        match inner.pick v with
+        | Run p when stalled v p ->
+          Run (List.nth free (v.clock mod List.length free))
+        | d -> d)
+  in
+  { name = inner.name ^ "+stall-cells"; pick }
+
+(** [stall_shard ~shard] — {!stall_cells} matching the spine cells of
+    shard [shard] in both serving-layer constructions: ["shard<k>."]
+    ([Psnap_runtime.Sharded]'s epoch source) and ["rshard<k>."]
+    ([Psnap_runtime.Resilient]'s pointer / epoch / inflight cells).  Every
+    update routed to the shard and every sub-scan of it must cross one of
+    these cells, so the whole shard stalls; scans of other shards keep
+    running — exactly the partial-outage a circuit breaker must contain. *)
+let stall_shard ~shard ~from_clock ~until_clock inner =
+  let p1 = Printf.sprintf "shard%d." shard in
+  let p2 = Printf.sprintf "rshard%d." shard in
+  stall_cells
+    ~matches:(fun n ->
+      String.starts_with ~prefix:p1 n || String.starts_with ~prefix:p2 n)
+    ~from_clock ~until_clock inner
+
+(** [slow_domain ~pid ~period inner] rate-limits [pid]: whenever [inner]
+    elects it outside its every-[period]-th decision slot, a different
+    runnable process is run instead (chosen deterministically from the
+    decision counter).  Models a uniformly slow client — a thermally
+    throttled core, a VM on an oversubscribed host — as opposed to
+    {!starve}'s probabilistic victim.  [pid] still runs when it is the
+    only runnable process. *)
+let slow_domain ~pid ?(period = 8) inner =
+  if period < 1 then invalid_arg "Scheduler.slow_domain: period < 1";
+  let tick = ref 0 in
+  let pick v =
+    incr tick;
+    match inner.pick v with
+    | Run p when p = pid && !tick mod period <> 0 -> (
+      let others =
+        Array.to_list v.runnable |> List.filter (fun q -> q <> pid)
+      in
+      match others with
+      | [] -> Run p
+      | _ -> Run (List.nth others (!tick mod List.length others)))
+    | d -> d
+  in
+  { name = inner.name ^ "+slow-domain"; pick }
 
 (** Targeted memory fault: corrupt the cell [pid] is about to access the
     [nth] time it is suspended at an access of kind [op] — with

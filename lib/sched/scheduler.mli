@@ -23,6 +23,11 @@ type view = {
       (** the cell a runnable pid is suspended at — what a memory-fault
           nemesis needs to corrupt "the cell this process is about to CAS";
           [None] for pids that are not runnable *)
+  name_of : int -> string option;
+      (** the {e name} of the cell a runnable pid is suspended at (the
+          label passed to [make ~name]) — what a latency or fault nemesis
+          needs to target a structure by name rather than by oid; [None]
+          for pids that are not runnable *)
   steps_of : int -> int;
       (** shared-memory steps executed so far by a pid (across all its
           incarnations) *)
@@ -173,3 +178,36 @@ val mem_storm :
     e.g. [~op:Event.Cas] garbles the cell inside the process's read-to-CAS
     window.  One shot. *)
 val corrupt_on_op : pid:int -> op:Event.mem_op -> ?nth:int -> t -> t
+
+(** Targeted memory fault by cell {e name}: once the clock reaches
+    [at_clock] (default 0), inject [kind] into the first cell some
+    runnable process is suspended at whose name starts with [name_prefix].
+    One shot.  E.g. [~kind:Event.Stuck_cell ~name_prefix:"rshard1.epoch"]
+    sticks shard 1's epoch source in the resilient serving layer — the
+    deterministic trigger for its self-healing path — without depending on
+    cell oids. *)
+val mem_fault_on_cell :
+  kind:Event.fault_kind -> name_prefix:string -> ?at_clock:int -> t -> t
+
+(** {2 Latency-fault nemeses} — slow things down without crashing them
+    (docs/MODEL.md §11).  A stalled or slowed process keeps its local
+    state; its pending access simply waits.  These nemeses never issue
+    fault decisions, so they compose freely with replay and shrinking. *)
+
+(** Inside [\[from_clock, until_clock)], never schedules a process whose
+    pending access targets a cell whose name satisfies [matches].  If
+    {e every} runnable process is stalled, one runs anyway (no livelock).
+    The detour choice is a deterministic function of the clock. *)
+val stall_cells :
+  matches:(string -> bool) -> from_clock:int -> until_clock:int -> t -> t
+
+(** {!stall_cells} over the spine cells of serving-layer shard [shard]
+    (name prefixes ["shard<k>."] and ["rshard<k>."]): the whole shard
+    stalls — updates and sub-scans targeting it stay pending — while other
+    shards keep running. *)
+val stall_shard : shard:int -> from_clock:int -> until_clock:int -> t -> t
+
+(** Rate-limits [pid] to (at most) every [period]-th (default 8) decision:
+    a deterministically, uniformly slow client, as opposed to {!starve}'s
+    probabilistic victim.  [pid] still runs when alone. *)
+val slow_domain : pid:int -> ?period:int -> t -> t

@@ -232,6 +232,11 @@ let run ?(record_trace = false) ?(max_steps = 50_000_000) ?recover ~sched
     | Pending (_, info) -> Some info.oid
     | Finished | Crashed | Failed _ -> None
   in
+  let name_of pid =
+    match t.procs.(pid).state with
+    | Pending (_, info) -> Some info.obj_name
+    | Finished | Crashed | Failed _ -> None
+  in
   let steps_of pid = t.procs.(pid).steps in
   try
     (* Start every fiber: each runs its (step-free) local prefix and parks at
@@ -257,6 +262,7 @@ let run ?(record_trace = false) ?(max_steps = 50_000_000) ?recover ~sched
             clock = t.clock;
             op_of;
             oid_of;
+            name_of;
             steps_of;
           }
         in

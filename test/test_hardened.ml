@@ -204,6 +204,72 @@ let test_replicated_faa_with_faults () =
        [| body |]);
   check_bool "faa sequence" true (!out = [ 8; 5; 0 ])
 
+(* ---- Replicated tolerance boundary: k = 1 has no spare replica, k = 2
+   is the smallest array where CAS can fail over from a stuck commit
+   replica to a live one ---- *)
+
+module HR1 =
+  H.Replicated
+    (M)
+    (struct
+      let k = 1
+    end)
+
+module HR2 =
+  H.Replicated
+    (M)
+    (struct
+      let k = 2
+    end)
+
+let test_replicated_k1_cannot_survive_stuck_cell () =
+  reset ();
+  let r = HR1.make ~name:"h" 0 in
+  let seen = ref (-1) and ok = ref true in
+  let body () =
+    HR1.write r 5;
+    seen := HR1.read r;
+    ok := HR1.cas r ~expected:5 ~desired:7
+  in
+  (* stick the only replica before anything runs: ⌊(1-1)/2⌋ = 0 faults
+     tolerated, so the write never lands in shared memory and CAS — whose
+     fail-over is a no-op mod 1 — must give up after its retries *)
+  ignore
+    (Sim.run
+       ~sched:
+         (Scheduler.replay_decisions ~lenient:false ~fallback:(rr ())
+            [ fault Event.Stuck_cell (-1) ])
+       [| body |]);
+  check_int "read is served from the local cache only" 5 !seen;
+  check_bool "cas fails permanently with no replica to fail over to" false
+    !ok;
+  let s = H.stats () in
+  check_bool "the stale cell was detected" true (s.H.stale_detected > 0);
+  check_bool "repair was attempted and retried" true (s.H.retries > 0)
+
+let test_replicated_k2_fails_over_stuck_commit () =
+  reset ();
+  let r = HR2.make ~name:"h" 0 in
+  let a = ref (-1) and b = ref (-1) and ok = ref false in
+  let body () =
+    HR2.write r 1;
+    a := HR2.read r;
+    ok := HR2.cas r ~expected:1 ~desired:2;
+    b := HR2.read r
+  in
+  (* stick replica "h/0" — the designated commit replica.  The write lands
+     on replica 1; CAS finds the commit replica unrepairable, advances to
+     replica 1, and succeeds there. *)
+  ignore
+    (Sim.run
+       ~sched:
+         (Scheduler.replay_decisions ~lenient:false ~fallback:(rr ())
+            [ fault Event.Stuck_cell (-1) ])
+       [| body |]);
+  check_int "write visible via the live replica" 1 !a;
+  check_bool "cas failed over to the live replica and succeeded" true !ok;
+  check_int "committed value readable" 2 !b
+
 (* ---- E15, constructive half: the paper's algorithms over hardened
    registers stay linearizable under the storms that break raw cells ---- *)
 
@@ -295,6 +361,10 @@ let () =
             test_replicated_survives_stuck_commit_replica;
           Alcotest.test_case "fetch&add with a corrupt replica" `Quick
             test_replicated_faa_with_faults;
+          Alcotest.test_case "k=1: no tolerance for a stuck cell" `Quick
+            test_replicated_k1_cannot_survive_stuck_cell;
+          Alcotest.test_case "k=2: stuck commit replica fails over" `Quick
+            test_replicated_k2_fails_over_stuck_commit;
         ] );
       ( "e15-constructive",
         [

@@ -101,6 +101,49 @@ let test_merge_with_empty_is_identity () =
   check_int "p50" (Hist.percentile a 50.0) (Hist.percentile m 50.0);
   check_int "max" (Hist.max_value a) (Hist.max_value m)
 
+let test_merge_of_two_empties () =
+  let m = Hist.merge (Hist.create ()) (Hist.create ()) in
+  check_int "count" 0 (Hist.count m);
+  check_int "total" 0 (Hist.total m);
+  check_int "min" 0 (Hist.min_value m);
+  check_int "max" 0 (Hist.max_value m);
+  check_int "percentile of merged empties" 0 (Hist.percentile m 50.0);
+  check_bool "no buckets" true (Hist.buckets m = [])
+
+let test_merge_into_empty_dst () =
+  let src = Hist.create () in
+  List.iter (Hist.record src) [ 10; 20; 30 ];
+  let dst = Hist.create () in
+  Hist.merge_into ~dst src;
+  check_int "count copied" 3 (Hist.count dst);
+  check_int "total copied" 60 (Hist.total dst);
+  check_int "min copied" 10 (Hist.min_value dst);
+  check_int "max copied" 30 (Hist.max_value dst);
+  (* and the other direction: merging an empty src is a no-op *)
+  Hist.merge_into ~dst (Hist.create ());
+  check_int "empty src leaves dst alone" 3 (Hist.count dst);
+  check_int "percentiles intact" (Hist.percentile src 50.0)
+    (Hist.percentile dst 50.0)
+
+let test_percentile_clamping () =
+  let h = Hist.create () in
+  for v = 1 to 100 do
+    Hist.record h (v * 1000)
+  done;
+  (* p outside [0..100] behaves exactly like the clamped endpoint *)
+  check_int "p < 0 clamps to p0" (Hist.percentile h 0.0)
+    (Hist.percentile h (-5.0));
+  check_int "p0 is min" (Hist.min_value h) (Hist.percentile h 0.0);
+  check_int "p > 100 clamps to p100" (Hist.percentile h 100.0)
+    (Hist.percentile h 250.0);
+  check_bool "p100 within the observed range" true
+    (Hist.percentile h 100.0 <= Hist.max_value h
+    && Hist.percentile h 100.0 >= Hist.min_value h);
+  (* clamping on an empty histogram stays 0, not an exception *)
+  let e = Hist.create () in
+  check_int "empty at p<0" 0 (Hist.percentile e (-1.0));
+  check_int "empty at p>100" 0 (Hist.percentile e 101.0)
+
 (* ---- zipfian sampler ---- *)
 
 let freqs ~theta ~n ~samples ~seed =
@@ -317,6 +360,61 @@ let test_relaxed_mode_violates () =
   check_bool "relaxed cross-shard scans are observably non-atomic" true
     (!violations > 0)
 
+(* ---- E17: the committed ddmin-shrunk witness still reproduces ---- *)
+
+(* `dune runtest` runs from the test directory inside _build (where the
+   dune deps clause stages the schedule one level up); `dune exec` runs
+   from the workspace root. *)
+let e17_witness =
+  if Sys.file_exists "schedules/e17-sharded-relaxed.sched" then
+    "schedules/e17-sharded-relaxed.sched"
+  else "../schedules/e17-sharded-relaxed.sched"
+
+let test_e17_witness_replays () =
+  let m = 32 and r = 8 and updaters = 3 in
+  let init = Array.init m (fun i -> -(i + 1)) in
+  let decisions = Shrink.load e17_witness in
+  check_bool "witness committed and shrunk" true
+    (decisions <> [] && List.length decisions <= 60);
+  let hist = History.create ~now:Sim.mark () in
+  Sim.reset_prerun_oids ();
+  let t = Sim_sharded_relaxed.create ~n:5 (Array.copy init) in
+  (* exactly the simulate.exe workload the witness was shrunk against
+     (bin/simulate.ml run_flat, incarnation 1) — replay is only meaningful
+     against the same program *)
+  let updater pid () =
+    let h = Sim_sharded_relaxed.handle t ~pid in
+    for k = 1 to 30 do
+      let i = (k + (pid * 7)) mod m in
+      let v = (pid * 1_000_000) + 10_000 + k in
+      ignore
+        (History.record hist ~pid (Snapshot_spec.Update (i, v)) (fun () ->
+             Sim_sharded_relaxed.update h i v;
+             Snapshot_spec.Ack))
+    done
+  in
+  let scanner pid () =
+    let h = Sim_sharded_relaxed.handle t ~pid in
+    let idxs =
+      Array.init r (fun k -> ((pid - updaters) + (k * (m / r))) mod m)
+      |> Array.to_list |> List.sort_uniq compare |> Array.of_list
+    in
+    for _ = 1 to 8 do
+      ignore
+        (History.record hist ~pid (Snapshot_spec.Scan idxs) (fun () ->
+             Snapshot_spec.Vals (Sim_sharded_relaxed.scan h idxs)))
+    done
+  in
+  ignore
+    (Sim.run
+       ~sched:
+         (Scheduler.replay_decisions ~lenient:true
+            ~fallback:(Scheduler.round_robin ()) decisions)
+       [| updater 0; updater 1; updater 2; scanner 3; scanner 4 |]);
+  let viols = Snapshot_spec.check_observations ~init (History.entries hist) in
+  check_bool "shrunk witness still drives a relaxed violation" true
+    (viols <> [])
+
 (* ---- loadgen smoke on real domains ---- *)
 
 let test_loadgen_smoke () =
@@ -371,6 +469,12 @@ let () =
           Alcotest.test_case "merge = direct" `Quick test_merge;
           Alcotest.test_case "merge with empty" `Quick
             test_merge_with_empty_is_identity;
+          Alcotest.test_case "merge of two empties" `Quick
+            test_merge_of_two_empties;
+          Alcotest.test_case "merge_into with empty dst" `Quick
+            test_merge_into_empty_dst;
+          Alcotest.test_case "percentile clamping" `Quick
+            test_percentile_clamping;
         ] );
       ( "zipf",
         [
@@ -387,6 +491,8 @@ let () =
             test_sharded_exact_lincheck;
           Alcotest.test_case "linearizable under chaos (25 seeds)" `Quick
             test_sharded_linearizable_under_chaos;
+          Alcotest.test_case "e17 witness replays to a violation" `Quick
+            test_e17_witness_replays;
           Alcotest.test_case "relaxed mode violates" `Quick
             test_relaxed_mode_violates;
         ] );
