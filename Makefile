@@ -6,9 +6,28 @@ all:
 test:
 	dune runtest
 
-# Memory-discipline static analysis (docs/MODEL.md, "Memory discipline").
+# Static analysis (docs/MODEL.md, "Memory discipline" and §12): the
+# memory-discipline rules R1–R3 over the algorithm libraries plus the
+# domain-sharing rules R4–R6 over lib/runtime and lib/mem.  Fails on any
+# non-waived finding; the fixture check confirms the rules still fire on
+# the intentionally racy files under test/fixtures.
 lint:
 	dune build @lint
+	dune build bin/lint.exe
+	mkdir -p $(ARTIFACTS)
+	dune exec bin/lint.exe -- --json lib > $(ARTIFACTS)/psnap-lint.json
+	dune exec bin/lint.exe -- --ruleset runtime --json test/fixtures \
+	  > $(ARTIFACTS)/psnap-lint-fixtures.json; test $$? -eq 1
+
+# Happens-before race checking (docs/MODEL.md §12): run every seeded
+# fixture under round-robin + seeded random schedules; racy fixtures must
+# race under every schedule and clean ones under none, and each racy
+# fixture gets a ddmin-shrunk replayable witness schedule.
+race:
+	dune build bin/race.exe
+	mkdir -p $(ARTIFACTS)
+	dune exec bin/race.exe -- --seeds 3 --shrink \
+	  --json $(ARTIFACTS)/psnap-race.json
 
 # Regenerate every experiment table (E1..E13 step counts + E8 wall clock).
 bench:
@@ -111,4 +130,4 @@ clean:
 	dune clean
 	rm -rf $(ARTIFACTS)
 
-.PHONY: all test lint bench chaos chaos-mem chaos-runtime loadgen-smoke examples pin-outputs clean
+.PHONY: all test lint race bench chaos chaos-mem chaos-runtime loadgen-smoke examples pin-outputs clean

@@ -1,10 +1,16 @@
-(* psnap-lint: static memory-discipline checks over the algorithm
-   libraries.  Exits nonzero iff violations are found.
+(* psnap-lint: static memory-discipline and domain-sharing checks over the
+   algorithm and runtime libraries.  Exits nonzero iff violations are
+   found.
 
-     psnap-lint [--json] [--list] [PATH ...]     (default PATH: lib)
+     psnap-lint [--json] [--list] [--ruleset RS] [PATH ...]
+                                                  (default PATH: lib)
 
-   See docs/MODEL.md, "Memory discipline" for the rules (R1 no-escape,
-   R2 cas-discipline, R3 loop-bound) and the waiver attributes. *)
+   See docs/MODEL.md, "Memory discipline" for the per-path rulesets
+   (R1 no-escape, R2 cas-discipline, R3 loop-bound on the algorithm
+   libraries; R4 domain-escape, R5 atomic-publication, R6 frozen-view also
+   on the runtime libraries) and the waiver attributes.  --ruleset forces
+   one ruleset on every file regardless of path — how the intentionally
+   racy fixtures under test/fixtures/ are linted in CI. *)
 
 module Lint = Psnap_analysis.Lint
 module Diagnostic = Psnap_analysis.Diagnostic
@@ -12,14 +18,29 @@ module Diagnostic = Psnap_analysis.Diagnostic
 let () =
   let json = ref false in
   let list_files = ref false in
+  let ruleset = ref None in
   let paths = ref [] in
+  let set_ruleset = function
+    | "algorithm" -> ruleset := Some Lint.Algorithm
+    | "runtime" -> ruleset := Some Lint.Runtime
+    | s ->
+      Printf.eprintf
+        "psnap-lint: unknown ruleset %S (choose algorithm or runtime)\n" s;
+      exit 2
+  in
   let spec =
     [
       ("--json", Arg.Set json, " emit the report as a JSON object on stdout");
       ("--list", Arg.Set list_files, " also list the files checked");
+      ( "--ruleset",
+        Arg.String set_ruleset,
+        "RS force a ruleset (algorithm | runtime) on every file" );
     ]
   in
-  let usage = "psnap-lint [--json] [--list] [PATH ...]   (default PATH: lib)" in
+  let usage =
+    "psnap-lint [--json] [--list] [--ruleset RS] [PATH ...]   (default \
+     PATH: lib)"
+  in
   Arg.parse spec (fun p -> paths := p :: !paths) usage;
   let paths = match List.rev !paths with [] -> [ "lib" ] | ps -> ps in
   (match List.find_opt (fun p -> not (Sys.file_exists p)) paths with
@@ -27,7 +48,7 @@ let () =
     Printf.eprintf "psnap-lint: no such path: %s\n" p;
     exit 2
   | None -> ());
-  let files, diags = Lint.lint_paths paths in
+  let files, diags = Lint.lint_paths ?ruleset:!ruleset paths in
   if !json then print_endline (Diagnostic.report_json ~files:(List.length files) diags)
   else begin
     if !list_files then

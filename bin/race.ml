@@ -1,0 +1,188 @@
+(* Happens-before race campaign over the seeded fixtures.
+
+     # all fixtures, verdicts checked against expectations (CI mode):
+     dune exec bin/race.exe -- --seeds 3 --json _artifacts/race.json
+
+     # one fixture, with a ddmin-shrunk witness schedule:
+     dune exec bin/race.exe -- --fixture racy-counter --shrink \
+         --witness-file witness.sched
+
+     # replay a saved (possibly shrunk) schedule against a fixture:
+     dune exec bin/race.exe -- --fixture racy-counter \
+         --replay-file witness.sched
+
+   Exit status 0 iff every fixture matched its expected verdict (racy
+   fixtures raced under every schedule tried, clean fixtures never did) —
+   and, with --replay-file, iff the replay shows a race. *)
+
+open Psnap
+module RF = Psnap_harness.Race_fixtures
+
+let scheds_for ~seeds =
+  ("round-robin", Scheduler.round_robin ())
+  :: List.init seeds (fun s ->
+         (Printf.sprintf "random:%d" s, Scheduler.random ~seed:s ()))
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function
+         | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let run_campaign fixture_name seeds shrink witness_file replay_file json_file =
+  let fixtures =
+    match fixture_name with
+    | "all" -> RF.all
+    | name -> (
+      match RF.find name with
+      | Some f -> [ f ]
+      | None ->
+        Printf.eprintf "unknown fixture %S (choose from: %s, all)\n" name
+          (String.concat ", " (List.map (fun f -> f.RF.name) RF.all));
+        exit 2)
+  in
+  match replay_file with
+  | Some path ->
+    (* Replay mode: a single fixture + a saved schedule. *)
+    let f =
+      match fixtures with
+      | [ f ] -> f
+      | _ ->
+        Printf.eprintf "--replay-file needs a single --fixture\n";
+        exit 2
+    in
+    let decisions = Shrink.load path in
+    let racy = RF.races_under f decisions in
+    Printf.printf "%s: replayed %d decisions -> %s\n" f.RF.name
+      (List.length decisions)
+      (if racy then "race reproduced" else "no race");
+    if racy then 0 else 1
+  | None ->
+    let mismatches = ref 0 in
+    let json_fixtures = ref [] in
+    List.iter
+      (fun f ->
+        let verdicts =
+          List.map
+            (fun (sname, sched) ->
+              let _, races = RF.run ~record_trace:false ~sched f in
+              (sname, races))
+            (scheds_for ~seeds)
+        in
+        let raced = List.filter (fun (_, rs) -> rs <> []) verdicts in
+        (* A racy fixture must race under *every* schedule tried (the bug
+           is unconditional); a clean one must race under none. *)
+        let ok =
+          if f.RF.racy then List.length raced = List.length verdicts
+          else raced = []
+        in
+        if not ok then incr mismatches;
+        Printf.printf "%-16s %-7s expected %-5s got races under %d/%d \
+                       schedules%s\n"
+          f.RF.name
+          (if ok then "ok" else "MISMATCH")
+          (if f.RF.racy then "racy" else "clean")
+          (List.length raced) (List.length verdicts)
+          (match raced with
+          | (sname, r :: _) :: _ ->
+            Printf.sprintf " (first: %s under %s)"
+              (Race.kind_to_string r.Race.kind)
+              sname
+          | _ -> "");
+        let witness_json = ref "null" in
+        if shrink && f.RF.racy then begin
+          match RF.witness ~sched:(Scheduler.round_robin ()) f with
+          | None -> ()
+          | Some (r, minimal, oracle_calls) ->
+            Printf.printf
+              "  witness: %s race on %s#%d (p%d step %d / p%d step %d), \
+               shrunk to %d decisions in %d oracle calls\n"
+              (Race.kind_to_string r.Race.kind)
+              r.Race.name r.Race.oid r.Race.first.Race.pid
+              r.Race.first.Race.clock r.Race.second.Race.pid
+              r.Race.second.Race.clock (List.length minimal) oracle_calls;
+            witness_json :=
+              Printf.sprintf {|{"report":%s,"decisions":[%s]}|}
+                (Race.report_to_json r)
+                (String.concat ","
+                   (List.map
+                      (fun d ->
+                        Printf.sprintf "%S"
+                          (Scheduler.decision_to_string d))
+                      minimal));
+            match witness_file with
+            | Some path when List.length fixtures = 1 ->
+              Shrink.save path minimal;
+              Printf.printf "  witness schedule saved to %s\n" path
+            | _ -> ()
+        end;
+        json_fixtures :=
+          Printf.sprintf
+            {|{"fixture":"%s","expected":"%s","ok":%b,"raced_under":%d,"schedules":%d,"witness":%s}|}
+            (json_escape f.RF.name)
+            (if f.RF.racy then "racy" else "clean")
+            ok (List.length raced) (List.length verdicts) !witness_json
+          :: !json_fixtures)
+      fixtures;
+    (match json_file with
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          Printf.fprintf oc {|{"mismatches":%d,"fixtures":[%s]}|}
+            !mismatches
+            (String.concat "," (List.rev !json_fixtures));
+          output_char oc '\n')
+    | None -> ());
+    if !mismatches = 0 then 0 else 1
+
+open Cmdliner
+
+let fixture =
+  Arg.(
+    value & opt string "all"
+    & info [ "fixture" ]
+        ~doc:"Fixture to run (racy-counter, cas-counter, unpublished-view, \
+              clean-fig3, all).")
+
+let seeds =
+  Arg.(
+    value & opt int 3
+    & info [ "seeds" ] ~doc:"Seeded random schedules per fixture (plus \
+                             round-robin).")
+
+let shrink =
+  Arg.(
+    value & flag
+    & info [ "shrink" ]
+        ~doc:"ddmin-shrink a witness schedule for each racy fixture.")
+
+let witness_file =
+  Arg.(
+    value & opt (some string) None
+    & info [ "witness-file" ]
+        ~doc:"Save the shrunk witness schedule (single fixture + --shrink).")
+
+let replay_file =
+  Arg.(
+    value & opt (some string) None
+    & info [ "replay-file" ]
+        ~doc:"Replay a saved schedule against --fixture; exit 0 iff the \
+              race reproduces.")
+
+let json_file =
+  Arg.(
+    value & opt (some string) None
+    & info [ "json" ] ~doc:"Write a machine-readable campaign summary.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "race"
+       ~doc:"happens-before race checking over the seeded fixtures")
+    Term.(
+      const run_campaign $ fixture $ seeds $ shrink $ witness_file
+      $ replay_file $ json_file)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,6 +1,7 @@
 (** Small Parsetree helpers shared by the rules. *)
 
 open Parsetree
+module SSet = Set.Make (String)
 
 let rec last_of_longident = function
   | Longident.Lident s -> s
@@ -63,6 +64,67 @@ let ident_used name e =
       | Pexp_ident { txt; _ } -> last_of_longident txt = name
       | _ -> false)
     e
+
+(** All plain (unqualified) identifier names mentioned anywhere in [e]. *)
+let mentioned_names e =
+  let acc = ref SSet.empty in
+  ignore
+    (expr_exists
+       (fun e ->
+         (match e.pexp_desc with
+         | Pexp_ident { txt = Longident.Lident x; _ } -> acc := SSet.add x !acc
+         | _ -> ());
+         false)
+       e);
+  !acc
+
+(** [loc_within ~outer loc] — [loc] lies inside [outer] (same file, both
+    real locations).  Character offsets are enough: the parser produces
+    properly nested locations for nested expressions. *)
+let loc_within ~(outer : Location.t) (loc : Location.t) =
+  (not outer.loc_ghost) && (not loc.loc_ghost)
+  && outer.loc_start.pos_fname = loc.loc_start.pos_fname
+  && outer.loc_start.pos_cnum <= loc.loc_start.pos_cnum
+  && loc.loc_end.pos_cnum <= outer.loc_end.pos_cnum
+
+(** The base variable of a mutation target: [x] -> [x], [x.f] -> [x],
+    [x.f.g] -> [x]; anything else -> [None]. *)
+let rec target_base e =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident x; _ } -> Some x
+  | Pexp_field (b, _) -> target_base b
+  | Pexp_constraint (b, _) -> target_base b
+  | _ -> None
+
+(* In-place operations whose first argument is the mutated structure. *)
+let inplace_mutators =
+  SSet.of_list [ "set"; "unsafe_set"; "fill"; "blit"; "sort" ]
+
+(** Recognize an expression that mutates a value in place, returning the
+    name of the mutated base variable: [x := e], [incr x]/[decr x],
+    [x.f <- e], [x.(i) <- e] / [Array.set x ..] / [Bytes.set x ..] /
+    [Array.sort cmp x].  [None] for non-mutations and for targets that are
+    not rooted in a plain variable. *)
+let mutation_target e =
+  match e.pexp_desc with
+  | Pexp_setfield (lhs, _, _) -> target_base lhs
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) -> (
+    let name = last_of_longident txt in
+    let head = head_module txt in
+    let positional =
+      List.filter_map
+        (fun ((lbl : Asttypes.arg_label), a) ->
+          match lbl with Nolabel -> Some a | _ -> None)
+        args
+    in
+    match (head, name, positional) with
+    | None, (":=" | "incr" | "decr"), tgt :: _ -> target_base tgt
+    | Some ("Array" | "Bytes"), "sort", [ _; tgt ] -> target_base tgt
+    | Some ("Array" | "Bytes"), op, tgt :: _ when SSet.mem op inplace_mutators
+      ->
+      target_base tgt
+    | _ -> None)
+  | _ -> None
 
 (** Walk every module expression of a structure (functor bodies,
     [module M = struct .. end], includes), calling [f] on each structure

@@ -1,0 +1,45 @@
+(** Small Parsetree helpers shared by the rules. *)
+
+module SSet : Set.S with type elt = string
+
+val last_of_longident : Longident.t -> string
+
+(** Head module of a dotted path: [Array.set] -> [Some "Array"],
+    [Stdlib.Array.set] -> [Some "Array"] (the [Stdlib] prefix is
+    transparent), plain idents -> [None]. *)
+val head_module : Longident.t -> string option
+
+(** Variable names bound by a pattern (tuples, aliases, constraints). *)
+val pattern_vars : Parsetree.pattern -> string list
+
+(** [expr_exists p e] — some subexpression of [e] satisfies [p]. *)
+val expr_exists :
+  (Parsetree.expression -> bool) -> Parsetree.expression -> bool
+
+(** Applies (or mentions) an identifier whose last path component is
+    [name]. *)
+val ident_used : string -> Parsetree.expression -> bool
+
+(** All plain (unqualified) identifier names mentioned anywhere in [e]. *)
+val mentioned_names : Parsetree.expression -> SSet.t
+
+(** [loc_within ~outer loc] — [loc] lies inside [outer] (same file, both
+    real locations). *)
+val loc_within : outer:Location.t -> Location.t -> bool
+
+(** The base variable of a mutation target: [x] -> [x], [x.f] -> [x],
+    [x.f.g] -> [x]; anything else -> [None]. *)
+val target_base : Parsetree.expression -> string option
+
+(** Recognize an expression that mutates a value in place, returning the
+    name of the mutated base variable: [x := e], [incr x]/[decr x],
+    [x.f <- e], [x.(i) <- e] / [Array.set x ..] / [Bytes.set x ..] /
+    [Array.sort cmp x].  [None] for non-mutations and for targets not
+    rooted in a plain variable. *)
+val mutation_target : Parsetree.expression -> string option
+
+(** Walk every module expression of a structure (functor bodies,
+    [module M = struct .. end], includes), calling [f] on each structure
+    found. *)
+val iter_structures :
+  (Parsetree.structure -> unit) -> Parsetree.structure -> unit

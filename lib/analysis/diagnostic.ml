@@ -6,6 +6,14 @@ type rule =
   | Escape  (** R1: raw mutable state in an algorithm library *)
   | Cas_discipline  (** R2: [cas ~expected] not bound from a prior read *)
   | Loop_bound  (** R3: unannotated retry loop over shared memory *)
+  | Domain_escape
+      (** R4: raw mutable state captured by a closure passed to
+          [Domain.spawn] *)
+  | Atomic_publication
+      (** R5: plain mutation of state published through (or acquired
+          from) an [Atomic.t] container *)
+  | Frozen_view
+      (** R6: a scan result / published view mutated after publication *)
   | Waiver_syntax  (** malformed waiver attribute (e.g. missing reason) *)
   | Parse_error  (** the file does not parse *)
 
@@ -13,6 +21,9 @@ let rule_id = function
   | Escape -> "R1"
   | Cas_discipline -> "R2"
   | Loop_bound -> "R3"
+  | Domain_escape -> "R4"
+  | Atomic_publication -> "R5"
+  | Frozen_view -> "R6"
   | Waiver_syntax -> "W0"
   | Parse_error -> "E0"
 
@@ -20,6 +31,9 @@ let rule_name = function
   | Escape -> "no-escape"
   | Cas_discipline -> "cas-discipline"
   | Loop_bound -> "loop-bound"
+  | Domain_escape -> "domain-escape"
+  | Atomic_publication -> "atomic-publication"
+  | Frozen_view -> "frozen-view"
   | Waiver_syntax -> "waiver-syntax"
   | Parse_error -> "parse-error"
 

@@ -1,0 +1,45 @@
+(** Diagnostics emitted by the psnap-lint rules, with human-readable and
+    JSON renderings.  A diagnostic pins a rule violation to a
+    file:line:col so editors and CI can jump to it. *)
+
+type rule =
+  | Escape  (** R1: raw mutable state in an algorithm library *)
+  | Cas_discipline  (** R2: [cas ~expected] not bound from a prior read *)
+  | Loop_bound  (** R3: unannotated retry loop over shared memory *)
+  | Domain_escape
+      (** R4: raw mutable state captured by a closure passed to
+          [Domain.spawn] *)
+  | Atomic_publication
+      (** R5: plain mutation of state published through (or acquired
+          from) an [Atomic.t] container *)
+  | Frozen_view
+      (** R6: a scan result / published view mutated after publication *)
+  | Waiver_syntax  (** malformed waiver attribute (e.g. missing reason) *)
+  | Parse_error  (** the file does not parse *)
+
+(** "R1" .. "R6", "W0", "E0". *)
+val rule_id : rule -> string
+
+(** "no-escape", "cas-discipline", ..., "frozen-view". *)
+val rule_name : rule -> string
+
+type t = {
+  rule : rule;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+val v : rule:rule -> loc:Location.t -> string -> t
+
+(** Stable presentation order: by position, then rule. *)
+val compare_pos : t -> t -> int
+
+(** [file:line:col: [Rn/name] message]. *)
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> string
+
+(** The whole report as one JSON object, for the [--json] CI artifact. *)
+val report_json : files:int -> t list -> string

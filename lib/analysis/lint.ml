@@ -1,27 +1,39 @@
 (** psnap-lint driver: parse OCaml sources with compiler-libs and run the
-    memory-discipline rules over them.
+    memory-discipline and domain-sharing rules over them.
 
-    The rules apply to the {e algorithm libraries} — [lib/snapshot],
-    [lib/activeset], [lib/apps] — whose step counts the theorems are stated
-    about.  Backend and infrastructure code ([lib/mem], [lib/sched], ...)
-    legitimately implements the mutation the algorithms must not perform,
-    so it is exempt (reported as skipped). *)
+    Two rulesets, decided by path:
 
-type ruleset = Algorithm | Exempt
+    - {e Algorithm} ([lib/snapshot], [lib/activeset], [lib/apps]) — the
+      libraries whose step counts the theorems are stated about.  They get
+      the memory-discipline rules R1–R3 plus the concurrency rules R4–R6
+      (a view frozen by R6 matters most where views are built).
+    - {e Runtime} ([lib/runtime], [lib/mem]) — Domains-facing serving and
+      register code.  Raw mutability is its job (R1–R3 do not apply), but
+      whatever crosses a domain boundary must be synchronized: R4
+      domain-escape, R5 atomic-publication, R6 frozen-view.
+
+    Everything else ([lib/sched] — the single-threaded simulator — test
+    harnesses, ...) is exempt (reported as skipped). *)
+
+type ruleset = Algorithm | Runtime | Exempt
 
 let algorithm_dirs = [ "lib/snapshot"; "lib/activeset"; "lib/apps" ]
+
+let runtime_dirs = [ "lib/runtime"; "lib/mem" ]
 
 (* Path components, so "x/lib/snapshot/foo.ml" matches "lib/snapshot". *)
 let ruleset_for_path path =
   let parts =
     String.split_on_char '/' (String.concat "/" (String.split_on_char '\\' path))
   in
-  let rec has_pair = function
+  let rec has_pair dirs = function
     | a :: (b :: _ as rest) ->
-      List.mem (a ^ "/" ^ b) algorithm_dirs || has_pair rest
+      List.mem (a ^ "/" ^ b) dirs || has_pair dirs rest
     | _ -> false
   in
-  if has_pair parts then Algorithm else Exempt
+  if has_pair algorithm_dirs parts then Algorithm
+  else if has_pair runtime_dirs parts then Runtime
+  else Exempt
 
 let parse ~file source =
   let lexbuf = Lexing.from_string source in
@@ -36,7 +48,7 @@ let lint_source ?ruleset ~file source =
   in
   match ruleset with
   | Exempt -> []
-  | Algorithm -> (
+  | (Algorithm | Runtime) as rs -> (
     match parse ~file source with
     | exception e ->
       let loc, msg =
@@ -50,10 +62,20 @@ let lint_source ?ruleset ~file source =
     | str ->
       let diags = ref [] in
       let diag d = diags := d :: !diags in
-      Rule_escape.check str ~diag;
-      Rule_cas.check str ~diag;
-      Rule_loops.check str ~diag;
-      List.sort Diagnostic.compare_pos !diags)
+      (match rs with
+      | Algorithm ->
+        Rule_escape.check str ~diag;
+        Rule_cas.check str ~diag;
+        Rule_loops.check str ~diag
+      | Runtime | Exempt -> ());
+      Rule_domain.check str ~diag;
+      Rule_publish.check str ~diag;
+      Rule_view.check str ~diag;
+      (* Several rules inspect the same waiver attributes, so one
+         malformed [@lint] would be reported once per rule: collapse
+         structurally identical diagnostics. *)
+      List.sort_uniq Stdlib.compare !diags
+      |> List.sort Diagnostic.compare_pos)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -61,7 +83,7 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let lint_file path = lint_source ~file:path (read_file path)
+let lint_file ?ruleset path = lint_source ?ruleset ~file:path (read_file path)
 
 let is_ml path = Filename.check_suffix path ".ml"
 
@@ -75,12 +97,16 @@ let rec find_ml_files path =
   else []
 
 (** Lint every [.ml] file under the given paths.  Returns the files that
-    were actually checked (algorithm ruleset) and all diagnostics, in
-    stable order. *)
-let lint_paths paths =
+    were actually checked and all diagnostics, in stable order.  By
+    default each file gets the ruleset its path implies (exempt files are
+    skipped); [?ruleset] forces one on every file — how the fixture files
+    under [test/], exempt by path, are linted in CI. *)
+let lint_paths ?ruleset paths =
   let files = List.concat_map find_ml_files paths in
   let checked =
-    List.filter (fun f -> ruleset_for_path f = Algorithm) files
+    match ruleset with
+    | Some _ -> files
+    | None -> List.filter (fun f -> ruleset_for_path f <> Exempt) files
   in
-  let diags = List.concat_map lint_file checked in
+  let diags = List.concat_map (lint_file ?ruleset) checked in
   (checked, List.sort Diagnostic.compare_pos diags)

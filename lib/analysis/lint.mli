@@ -1,0 +1,34 @@
+(** psnap-lint driver: parse OCaml sources with compiler-libs and run the
+    memory-discipline and domain-sharing rules over them. *)
+
+(** Which rules apply to a file, decided by path:
+
+    - {!Algorithm} ([lib/snapshot], [lib/activeset], [lib/apps]) — the
+      memory-discipline rules R1–R3 plus the concurrency rules R4–R6;
+    - {!Runtime} ([lib/runtime], [lib/mem]) — Domains-facing code: raw
+      mutability is its job (no R1–R3), but whatever crosses a domain
+      boundary must be synchronized (R4–R6);
+    - {!Exempt} — everything else (the single-threaded simulator, test
+      harnesses); skipped. *)
+type ruleset = Algorithm | Runtime | Exempt
+
+val algorithm_dirs : string list
+
+val runtime_dirs : string list
+
+val ruleset_for_path : string -> ruleset
+
+(** Lint one compilation unit given as a string.  [ruleset] defaults to
+    what [file]'s path implies. *)
+val lint_source :
+  ?ruleset:ruleset -> file:string -> string -> Diagnostic.t list
+
+val lint_file : ?ruleset:ruleset -> string -> Diagnostic.t list
+
+(** Lint every [.ml] file under the given paths.  Returns the files
+    actually checked and all diagnostics, in stable order.  By default
+    each file gets the ruleset its path implies (exempt files are
+    skipped); [?ruleset] forces one on every file — how the fixture files
+    under [test/], exempt by path, are linted in CI. *)
+val lint_paths :
+  ?ruleset:ruleset -> string list -> string list * Diagnostic.t list

@@ -1,0 +1,8 @@
+(** R2 (cas-discipline): the [~expected] argument of a [cas] must be
+    bound from a prior [read] of the same cell in the same scope — CASing
+    a guessed or stale value is how ABA bugs start. *)
+
+(** Run the rule over one parsed compilation unit, reporting each
+    violation (and each malformed waiver) through [diag]. *)
+val check :
+  Parsetree.structure -> diag:(Diagnostic.t -> unit) -> unit

@@ -1,0 +1,232 @@
+(** R4 (domain-escape): raw mutable state must not flow into a closure
+    passed to [Domain.spawn].  A [ref] cell, array, [Bytes] buffer or
+    [Hashtbl] captured by a spawned closure is shared between domains with
+    no synchronization: the OCaml memory model makes the resulting races
+    undefined-ish (values read may be out of thin air for unboxed fields),
+    and the serving layer's correctness argument assumes every cross-domain
+    location is an [Atomic.t] or is guarded by a [Mutex].
+
+    The analysis is an interprocedural {e capture summary} over the file,
+    in the spirit of [Rule_escape]'s fixpoint: for every named binding we
+    compute the set of raw mutable roots it mentions that were allocated
+    {e outside} its own body (roots allocated inside a function are fresh
+    per call, hence domain-local once the function is the spawned entry
+    point).  At a [Domain.spawn arg] site the summary of [arg] — the roots
+    it captures directly plus, transitively, the summaries of every
+    function it mentions — is checked; each reached root that is not an
+    [Atomic.t]/[Mutex]/[Condition]/[Semaphore] allocation and carries no
+    waiver is flagged.
+
+    Known syntactic approximations (see docs/MODEL.md §12): allocation is
+    recognized by constructor shape ([ref e], [Array.make], ...), so a
+    mutable structure returned by an arbitrary function is invisible, as is
+    mutable state reached through record fields; shadowing is ignored.
+
+    Waiver: [[@lint "R4: reason"]] on the root's binding or on the spawn
+    expression. *)
+
+open Parsetree
+module SSet = Ast_util.SSet
+module SMap = Map.Make (String)
+
+type root = {
+  kind : string;  (** "ref cell", "array", ... for the message *)
+  def_loc : Location.t;  (** the allocation site *)
+  waived : bool;
+}
+
+(* Allocators of raw, unsynchronized mutable state, by (head module, last
+   name).  [None] as head module = the bare [ref] constructor. *)
+let raw_allocator head name =
+  match (head, name) with
+  | None, "ref" -> Some "ref cell"
+  | Some "Array", ("make" | "init" | "create_float" | "make_matrix") ->
+    Some "array"
+  | Some "Bytes", ("create" | "make" | "init") -> Some "byte buffer"
+  | Some "Hashtbl", "create" -> Some "hash table"
+  | Some "Queue", "create" | Some "Stack", "create" -> Some "mutable queue"
+  | Some "Buffer", "create" -> Some "buffer"
+  | _ -> None
+
+(* Allocators that are safe to share across domains. *)
+let safe_allocator head name =
+  match (head, name) with
+  | Some "Atomic", "make"
+  | Some "Mutex", "create"
+  | Some "Condition", "create"
+  | Some ("Semaphore" | "Binary" | "Counting"), "make" ->
+    true
+  | _ -> false
+
+(* Only bindings that are syntactically functions get a propagated capture
+   summary: mentioning a non-function binding cannot re-execute its body,
+   and the flat name space would otherwise conflate unrelated same-named
+   locals across scopes. *)
+let rec is_function e =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> true
+  | Pexp_newtype (_, e) | Pexp_constraint (e, _) -> is_function e
+  | _ -> false
+
+(* Classify a binding's RHS: the outermost allocation decides.  [ref e]
+   parses as an application of the [ref] constructor. *)
+let classify_rhs e =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+    let name = Ast_util.last_of_longident txt in
+    let head = Ast_util.head_module txt in
+    if safe_allocator head name then `Safe
+    else (
+      match raw_allocator head name with
+      | Some kind -> `Raw kind
+      | None -> `Other)
+  | _ -> `Other
+
+let check (str : structure) ~(diag : Diagnostic.t -> unit) =
+  let bad_waiver (loc, msg) =
+    diag (Diagnostic.v ~rule:Waiver_syntax ~loc msg)
+  in
+  let waived attrs =
+    match Waiver.domain_escape attrs with
+    | Waiver.Waived _ -> true
+    | Waiver.Malformed (loc, msg) ->
+      bad_waiver (loc, msg);
+      true (* a malformed waiver is already reported; don't double-flag *)
+    | Waiver.Not_waived -> false
+  in
+
+  (* Pass 1: every named binding (with its body and span), and every raw
+     mutable root, across the whole file including nested modules. *)
+  let bindings = ref [] (* (name, body, span) *) in
+  let roots = ref SMap.empty in
+  let collect =
+    {
+      Ast_iterator.default_iterator with
+      value_binding =
+        (fun it vb ->
+          (match vb.pvb_pat.ppat_desc with
+          | Ppat_var { txt = name; _ } -> (
+            if is_function vb.pvb_expr then
+              bindings := (name, vb.pvb_expr, vb.pvb_loc) :: !bindings;
+            match classify_rhs vb.pvb_expr with
+            | `Raw kind ->
+              roots :=
+                SMap.add name
+                  {
+                    kind;
+                    def_loc = vb.pvb_loc;
+                    waived = waived vb.pvb_attributes;
+                  }
+                  !roots
+            | `Safe | `Other -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.value_binding it vb);
+    }
+  in
+  collect.structure collect str;
+  let bindings = List.rev !bindings in
+  let roots = !roots in
+
+  (* Summary of a named binding: raw roots it mentions that are defined
+     outside its own span.  Fixpoint over the call graph: mentioning a
+     binding imports that binding's summary (minus roots local to us). *)
+  let base_summary body span =
+    SSet.filter
+      (fun n ->
+        match SMap.find_opt n roots with
+        | Some r -> not (Ast_util.loc_within ~outer:span r.def_loc)
+        | None -> false)
+      (Ast_util.mentioned_names body)
+  in
+  let summaries =
+    ref
+      (List.fold_left
+         (fun m (n, body, span) -> SMap.add n (base_summary body span) m)
+         SMap.empty bindings)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (n, body, span) ->
+        let cur = SMap.find n !summaries in
+        let imported =
+          SSet.fold
+            (fun callee acc ->
+              match SMap.find_opt callee !summaries with
+              | Some s -> SSet.union acc s
+              | None -> acc)
+            (Ast_util.mentioned_names body)
+            SSet.empty
+        in
+        let imported =
+          SSet.filter
+            (fun r ->
+              match SMap.find_opt r roots with
+              | Some root -> not (Ast_util.loc_within ~outer:span root.def_loc)
+              | None -> false)
+            imported
+        in
+        let next = SSet.union cur imported in
+        if not (SSet.equal next cur) then begin
+          summaries := SMap.add n next !summaries;
+          changed := true
+        end)
+      bindings
+  done;
+
+  (* Roots reached by a spawn argument: its own out-of-span mentions plus
+     the summaries of every function it mentions, filtered again against
+     the argument's span (a helper defined inside the closure capturing a
+     root also defined inside the closure is domain-local). *)
+  let reached arg =
+    let span = arg.pexp_loc in
+    let names = Ast_util.mentioned_names arg in
+    let direct = base_summary arg span in
+    let via_calls =
+      SSet.fold
+        (fun callee acc ->
+          match SMap.find_opt callee !summaries with
+          | Some s -> SSet.union acc s
+          | None -> acc)
+        names SSet.empty
+    in
+    SSet.filter
+      (fun r ->
+        match SMap.find_opt r roots with
+        | Some root -> not (Ast_util.loc_within ~outer:span root.def_loc)
+        | None -> false)
+      (SSet.union direct via_calls)
+  in
+
+  (* Pass 2: spawn sites. *)
+  let expr it (e : expression) =
+    (match e.pexp_desc with
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args)
+      when Ast_util.head_module txt = Some "Domain"
+           && Ast_util.last_of_longident txt = "spawn" -> (
+      match
+        List.find_opt
+          (fun ((lbl : Asttypes.arg_label), _) -> lbl = Asttypes.Nolabel)
+          args
+      with
+      | Some (_, arg) when not (waived e.pexp_attributes) ->
+        SSet.iter
+          (fun r ->
+            let root = SMap.find r roots in
+            if not root.waived then
+              diag
+                (Diagnostic.v ~rule:Domain_escape ~loc
+                   (Printf.sprintf
+                      "'%s' (a raw %s allocated at line %d) is captured by \
+                       the closure passed to Domain.spawn: cross-domain \
+                       mutable state must be an Atomic.t, Mutex-guarded, or \
+                       waived with [@lint \"R4: reason\"] on its binding"
+                      r root.kind root.def_loc.Location.loc_start.pos_lnum)))
+          (reached arg)
+      | _ -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let main = { Ast_iterator.default_iterator with expr } in
+  main.structure main str

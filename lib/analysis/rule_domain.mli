@@ -1,0 +1,13 @@
+(** R4 (domain-escape): raw mutable state ([ref]/[Array]/[Bytes]/
+    [Hashtbl]/...) must not flow into a closure passed to [Domain.spawn]
+    — cross-domain locations must be [Atomic.t], Mutex-guarded, or
+    waived.  Interprocedural: a root reaching the spawned closure through
+    file-local helper functions is caught too (capture summaries computed
+    as a fixpoint); roots allocated inside the spawned closure itself are
+    domain-local and exempt.  Waiver: [[@lint "R4: reason"]] on the
+    root's binding or the spawn expression. *)
+
+(** Run the rule over one parsed compilation unit, reporting each
+    violation (and each malformed waiver) through [diag]. *)
+val check :
+  Parsetree.structure -> diag:(Diagnostic.t -> unit) -> unit

@@ -1,0 +1,9 @@
+(** R1 (no-escape): raw mutable state ([ref]/[Array]/[Bytes]/mutable
+    fields) in an algorithm library must carry a
+    [[@psnap.local_state "reason"]] waiver — every shared-memory access
+    is supposed to go through the [Mem] backend so it costs a step. *)
+
+(** Run the rule over one parsed compilation unit, reporting each
+    violation (and each malformed waiver) through [diag]. *)
+val check :
+  Parsetree.structure -> diag:(Diagnostic.t -> unit) -> unit

@@ -85,15 +85,30 @@ let check (str : structure) ~(diag : Diagnostic.t -> unit) =
 
   (* Pass 2: flag unannotated recursive shared-memory loops and
      [while true]. *)
+  (* A [let rec ... and ...] group is one loop: mutually recursive
+     functions form a single retry cycle, so a termination waiver on any
+     binding of the group covers the whole group (the annotation argues
+     about the cycle, not about one participant).  Malformed waivers are
+     still reported per binding. *)
   let check_rec_bindings vbs =
+    let statuses =
+      List.map (fun vb -> Waiver.loop_bound vb.pvb_attributes) vbs
+    in
     List.iter
-      (fun vb ->
-        let name = Option.value ~default:"_" (binding_name vb) in
-        match Waiver.loop_bound vb.pvb_attributes with
-        | Waiver.Waived _ -> ()
+      (function
         | Waiver.Malformed (loc, msg) ->
           diag (Diagnostic.v ~rule:Waiver_syntax ~loc msg)
-        | Waiver.Not_waived ->
+        | Waiver.Waived _ | Waiver.Not_waived -> ())
+      statuses;
+    let group_waived =
+      List.exists
+        (function Waiver.Waived _ -> true | _ -> false)
+        statuses
+    in
+    if not group_waived then
+      List.iter
+        (fun vb ->
+          let name = Option.value ~default:"_" (binding_name vb) in
           if touches_shared ~name vb.pvb_expr then
             diag
               (Diagnostic.v ~rule:Loop_bound ~loc:vb.pvb_loc
@@ -103,7 +118,7 @@ let check (str : structure) ~(diag : Diagnostic.t -> unit) =
                      or [@psnap.bounded \"bound\"] stating why it is \
                      wait-free"
                     name)))
-      vbs
+        vbs
   in
   let expr it (e : expression) =
     (match e.pexp_desc with

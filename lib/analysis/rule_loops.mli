@@ -1,0 +1,10 @@
+(** R3 (loop-bound): a retry loop over shared memory ([while true] or a
+    recursive function touching the [Mem] primitives, directly or through
+    helpers) must carry [[@psnap.helping]] or [[@psnap.bounded "reason"]]
+    stating why it terminates.  A [let rec .. and ..] group is one loop:
+    a waiver on any binding covers the group. *)
+
+(** Run the rule over one parsed compilation unit, reporting each
+    violation (and each malformed waiver) through [diag]. *)
+val check :
+  Parsetree.structure -> diag:(Diagnostic.t -> unit) -> unit

@@ -1,0 +1,163 @@
+(** R5 (atomic-publication): state that crosses a domain boundary through an
+    [Atomic.t] container must only change by {e republication} — build a
+    fresh value, then release it with one [Atomic.set] / [compare_and_set] /
+    [exchange].  Two plain-mutation shapes break that protocol:
+
+    - {e mutate-after-publish}: a structure is stored into an atomic (other
+      domains can now load it) and then patched in place — the patch is a
+      plain write with no release fence, so a reader that already holds the
+      pointer races with it.  This is the classic inverted
+      initialize-then-publish bug in shard rebuild / breaker-state code.
+    - {e mutate-acquired}: a structure loaded from an atomic
+      ([Atomic.get]) is mutated in place — same race, seen from the
+      consumer side.
+
+    The rule tracks, per top-level binding and in evaluation order, the
+    names published into an atomic and the names bound from [Atomic.get],
+    and flags any later in-place mutation ([:=], [incr], [x.f <- ..],
+    [x.(i) <- ..], [Array.set/fill/blit/sort], ...) whose target base is
+    one of them.  Purely syntactic: aliases through data structures and
+    publications via helper functions are invisible (docs/MODEL.md §12).
+
+    Waiver: [[@lint "R5: reason"]] on the mutation expression or on the
+    binding that introduced the name. *)
+
+open Parsetree
+module SSet = Ast_util.SSet
+
+let atomic_call name e =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+    when Ast_util.head_module txt = Some "Atomic"
+         && Ast_util.last_of_longident txt = name ->
+    Some args
+  | _ -> None
+
+(* The value argument being published: [Atomic.set a v] -> [v],
+   [Atomic.exchange a v] -> [v], [Atomic.compare_and_set a old new] ->
+   [new]. *)
+let published_value e =
+  let positional args =
+    List.filter_map
+      (fun ((lbl : Asttypes.arg_label), a) ->
+        match lbl with Nolabel -> Some a | _ -> None)
+      args
+  in
+  match atomic_call "set" e with
+  | Some args -> (
+    match positional args with [ _; v ] -> Some v | _ -> None)
+  | None -> (
+    match atomic_call "exchange" e with
+    | Some args -> (
+      match positional args with [ _; v ] -> Some v | _ -> None)
+    | None -> (
+      match atomic_call "compare_and_set" e with
+      | Some args -> (
+        match positional args with [ _; _; v ] -> Some v | _ -> None)
+      | None -> None))
+
+let derives_from_atomic_get e =
+  Ast_util.expr_exists
+    (fun e ->
+      match e.pexp_desc with
+      | Pexp_ident { txt; _ } ->
+        Ast_util.head_module txt = Some "Atomic"
+        && Ast_util.last_of_longident txt = "get"
+      | _ -> false)
+    e
+
+let check (str : structure) ~(diag : Diagnostic.t -> unit) =
+  let bad_waiver (loc, msg) =
+    diag (Diagnostic.v ~rule:Waiver_syntax ~loc msg)
+  in
+  (* [shared] accumulates, in traversal (≈ evaluation) order, the names
+     whose contents another domain may already be reading: published into
+     an atomic, or loaded from one.  [why] remembers which, for the
+     message. *)
+  let shared = ref SSet.empty in
+  let why : (string, string) Hashtbl.t = Hashtbl.create 8 in
+  let mark name reason =
+    shared := SSet.add name !shared;
+    if not (Hashtbl.mem why name) then Hashtbl.add why name reason
+  in
+  let waived_binding = ref SSet.empty in
+  let rec walk (e : expression) =
+    (match Waiver.atomic_publication e.pexp_attributes with
+    | Waiver.Malformed (loc, msg) -> bad_waiver (loc, msg)
+    | Waiver.Waived _ -> ()
+    | Waiver.Not_waived -> (
+      (* Flag before descending so the innermost diagnostic wins. *)
+      match Ast_util.mutation_target e with
+      | Some tgt
+        when SSet.mem tgt !shared && not (SSet.mem tgt !waived_binding) ->
+        diag
+          (Diagnostic.v ~rule:Atomic_publication ~loc:e.pexp_loc
+             (Printf.sprintf
+                "in-place mutation of '%s', which was %s: a plain write to \
+                 atomically-published state is unreleased — build a fresh \
+                 value and republish it with Atomic.set/compare_and_set, or \
+                 waive with [@lint \"R5: reason\"]"
+                tgt
+                (Option.value ~default:"shared through an Atomic.t"
+                   (Hashtbl.find_opt why tgt))))
+      | _ -> ()));
+    (* Record publications/acquisitions, then descend in syntax order
+       (which matches evaluation order for the sequential shapes —
+       sequences, lets — this rule cares about). *)
+    (match published_value e with
+    | Some v -> (
+      match Ast_util.target_base v with
+      | Some n -> mark n "published into an Atomic.t container"
+      | None -> ())
+    | None -> ());
+    (match e.pexp_desc with
+    | Pexp_let (_, vbs, body) ->
+      List.iter
+        (fun vb ->
+          walk vb.pvb_expr;
+          (match Waiver.atomic_publication vb.pvb_attributes with
+          | Waiver.Waived _ ->
+            List.iter
+              (fun n -> waived_binding := SSet.add n !waived_binding)
+              (Ast_util.pattern_vars vb.pvb_pat)
+          | Waiver.Malformed (loc, msg) -> bad_waiver (loc, msg)
+          | Waiver.Not_waived -> ());
+          if derives_from_atomic_get vb.pvb_expr then
+            List.iter
+              (fun n -> mark n "loaded from an Atomic.t with Atomic.get")
+              (Ast_util.pattern_vars vb.pvb_pat))
+        vbs;
+      walk body
+    | _ ->
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr = (fun _ e' -> if e' != e then walk e');
+        }
+      in
+      Ast_iterator.default_iterator.expr it e)
+  in
+  Ast_util.iter_structures
+    (fun items ->
+      List.iter
+        (fun item ->
+          match item.pstr_desc with
+          | Pstr_value (_, vbs) ->
+            (* Publication state is per top-level binding: a name published
+               in one function stays hot for the rest of that function
+               only. *)
+            List.iter
+              (fun vb ->
+                shared := SSet.empty;
+                Hashtbl.reset why;
+                waived_binding := SSet.empty;
+                walk vb.pvb_expr)
+              vbs
+          | Pstr_eval (e, _) ->
+            shared := SSet.empty;
+            Hashtbl.reset why;
+            waived_binding := SSet.empty;
+            walk e
+          | _ -> ())
+        items)
+    str

@@ -1,0 +1,10 @@
+(** R5 (atomic-publication): state published through an [Atomic.t]
+    container must only change by republication — a plain in-place
+    mutation of a value already stored into (or loaded from) an atomic is
+    an unreleased write racing with every reader that holds the pointer.
+    Waiver: [[@lint "R5: reason"]] on the mutation or the binding. *)
+
+(** Run the rule over one parsed compilation unit, reporting each
+    violation (and each malformed waiver) through [diag]. *)
+val check :
+  Parsetree.structure -> diag:(Diagnostic.t -> unit) -> unit

@@ -1,0 +1,101 @@
+(** R6 (frozen-view): a view is frozen at publication.  Scan results and
+    published views ([View.t] / [View_repr] values, and the component
+    vectors returned by [scan]) are handed across the shard boundary and
+    borrowed wholesale by the helping mechanism — the atomicity argument
+    (docs/MODEL.md §10) depends on nobody patching them afterwards.  An
+    in-place mutation of a scan result is exactly the unpublished-view bug
+    the runtime fixtures seed: the mutation is visible to some helpers and
+    not others, so two borrowers of "the same" view disagree.
+
+    Detection: within each top-level binding the rule tracks (through let
+    chains, aliases and field projections) the names bound from a
+    view-producing call — an application whose callee's last path component
+    is [scan] or [of_pairs]/[publish], or any [View.*] call — and flags
+    in-place mutations ([x.(i) <- ..], [x.f <- ..], [Array.set/fill/blit/
+    sort], [:=]) whose target base is one of them.  Freshly-built arrays
+    being {e assembled} before publication ([Array.make] + fill + return)
+    are untouched: their binding is not view-derived.
+
+    Waiver: [[@lint "R6: reason"]] on the mutation expression or on the
+    binding of the view. *)
+
+open Parsetree
+module SSet = Ast_util.SSet
+
+let producer_names = SSet.of_list [ "scan"; "of_pairs"; "publish" ]
+
+(* Does this expression (an RHS) produce a view?  Either a call to a view
+   producer, or a reference to / projection of an already-frozen name. *)
+let rec view_rhs ~frozen e =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+    SSet.mem (Ast_util.last_of_longident txt) producer_names
+    || Ast_util.head_module txt = Some "View"
+  | Pexp_ident { txt = Longident.Lident x; _ } -> SSet.mem x frozen
+  | Pexp_field (b, _) | Pexp_constraint (b, _) -> view_rhs ~frozen b
+  | Pexp_match (_, cases) | Pexp_try (_, cases) ->
+    List.exists (fun c -> view_rhs ~frozen c.pc_rhs) cases
+  | Pexp_ifthenelse (_, a, b) ->
+    view_rhs ~frozen a
+    || (match b with Some b -> view_rhs ~frozen b | None -> false)
+  | Pexp_sequence (_, b) -> view_rhs ~frozen b
+  | _ -> false
+
+let check (str : structure) ~(diag : Diagnostic.t -> unit) =
+  let bad_waiver (loc, msg) =
+    diag (Diagnostic.v ~rule:Waiver_syntax ~loc msg)
+  in
+  let rec walk (frozen : SSet.t) (e : expression) =
+    match Waiver.frozen_view e.pexp_attributes with
+    | Waiver.Malformed (loc, msg) -> bad_waiver (loc, msg)
+    | Waiver.Waived _ -> ()
+    | Waiver.Not_waived -> (
+      (match Ast_util.mutation_target e with
+      | Some tgt when SSet.mem tgt frozen ->
+        diag
+          (Diagnostic.v ~rule:Frozen_view ~loc:e.pexp_loc
+             (Printf.sprintf
+                "in-place mutation of '%s', a published view / scan result: \
+                 views are frozen at publication (borrowers share them \
+                 wholesale) — copy before patching, or waive with [@lint \
+                 \"R6: reason\"]"
+                tgt))
+      | _ -> ());
+      match e.pexp_desc with
+      | Pexp_let (_, vbs, body) ->
+        List.iter (fun vb -> walk frozen vb.pvb_expr) vbs;
+        let frozen' =
+          List.fold_left
+            (fun acc vb ->
+              match Waiver.frozen_view vb.pvb_attributes with
+              | Waiver.Waived _ -> acc
+              | Waiver.Malformed _ | Waiver.Not_waived ->
+                if view_rhs ~frozen:acc vb.pvb_expr then
+                  List.fold_left
+                    (fun s n -> SSet.add n s)
+                    acc
+                    (Ast_util.pattern_vars vb.pvb_pat)
+                else acc)
+            frozen vbs
+        in
+        walk frozen' body
+      | _ ->
+        let it =
+          {
+            Ast_iterator.default_iterator with
+            expr = (fun _ e' -> walk frozen e');
+          }
+        in
+        Ast_iterator.default_iterator.expr it e)
+  in
+  Ast_util.iter_structures
+    (fun items ->
+      List.iter
+        (fun item ->
+          match item.pstr_desc with
+          | Pstr_value (_, vbs) ->
+            List.iter (fun vb -> walk SSet.empty vb.pvb_expr) vbs
+          | Pstr_eval (e, _) -> walk SSet.empty e
+          | _ -> ())
+        items)
+    str

@@ -1,0 +1,10 @@
+(** R6 (frozen-view): views are frozen at publication.  A scan result
+    or published [View.t]/[View_repr] value handed across the shard
+    boundary must not be mutated afterwards — borrowers share it
+    wholesale.  Waiver: [[@lint "R6: reason"]] on the mutation or the
+    binding of the view. *)
+
+(** Run the rule over one parsed compilation unit, reporting each
+    violation (and each malformed waiver) through [diag]. *)
+val check :
+  Parsetree.structure -> diag:(Diagnostic.t -> unit) -> unit

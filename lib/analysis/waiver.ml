@@ -9,7 +9,13 @@
       helping mechanism (condition (2) of the collect engine, f-array
       double-refresh collision, ...).
     - [[@psnap.bounded "reason"]] — R3 waiver: the loop has an explicit
-      iteration bound, stated in the reason. *)
+      iteration bound, stated in the reason.
+    - [[@lint "R4,R6: reason"]] — the generic form: a comma-separated
+      list of rule ids, optionally followed by [": reason"].  It waives
+      exactly the listed rules on the annotated node, so one attribute
+      can silence several rules at once ([[@lint "R1,R4"]]).  The
+      concurrency rules R4–R6 have no dedicated attribute and are waived
+      only through this form. *)
 
 open Parsetree
 
@@ -36,9 +42,67 @@ type check =
   | Waived of string  (** the reason *)
   | Malformed of Location.t * string  (** waiver present but unusable *)
 
-(** R1 waiver: [[@psnap.local_state "reason"]]; the reason is mandatory. *)
+(* "R4,R6: reason" -> (["R4"; "R6"], "reason"); without a colon the whole
+   payload is the id list and the reason is empty. *)
+let parse_rule_list s =
+  let ids_part, reason =
+    match String.index_opt s ':' with
+    | Some i ->
+      ( String.sub s 0 i,
+        String.trim (String.sub s (i + 1) (String.length s - i - 1)) )
+    | None -> (s, "")
+  in
+  let ids =
+    String.split_on_char ',' ids_part
+    |> List.map String.trim
+    |> List.filter (fun x -> x <> "")
+  in
+  (ids, reason)
+
+let looks_like_rule_id s =
+  String.length s >= 2
+  && (s.[0] = 'R' || s.[0] = 'W' || s.[0] = 'E')
+  && String.for_all (fun c -> c >= '0' && c <= '9')
+       (String.sub s 1 (String.length s - 1))
+
+(** Generic waiver: [[@lint "R1,R4"]] or [[@lint "R4: reason"]].  Waives
+    [rule] iff its id appears in the comma-separated list. *)
+let generic ~rule attrs =
+  match find_attr "lint" attrs with
+  | None -> Not_waived
+  | Some a -> (
+    match string_payload a with
+    | None ->
+      Malformed
+        ( a.attr_loc,
+          "[@lint] must carry a string payload listing rule ids, e.g. \
+           [@lint \"R1,R4: reason\"]" )
+    | Some s -> (
+      let ids, reason = parse_rule_list s in
+      match List.find_opt (fun id -> not (looks_like_rule_id id)) ids with
+      | Some bad ->
+        Malformed
+          ( a.attr_loc,
+            Printf.sprintf
+              "[@lint] payload %S: %S is not a rule id (expected R<n>, \
+               comma-separated)" s bad )
+      | None ->
+        if ids = [] then
+          Malformed (a.attr_loc, "[@lint] payload lists no rule ids")
+        else if List.mem rule ids then
+          Waived (if reason = "" then s else reason)
+        else Not_waived))
+
+(* Dedicated attribute first; a malformed dedicated waiver is reported even
+   if a generic one would apply, so broken annotations never pass silently. *)
+let with_generic ~rule attrs = function
+  | Not_waived -> generic ~rule attrs
+  | (Waived _ | Malformed _) as r -> r
+
+(** R1 waiver: [[@psnap.local_state "reason"]] (reason mandatory), or the
+    generic [[@lint "R1,..."]] form. *)
 let local_state attrs =
-  match find_attr "psnap.local_state" attrs with
+  (match find_attr "psnap.local_state" attrs with
   | None -> Not_waived
   | Some a -> (
     match string_payload a with
@@ -47,12 +111,13 @@ let local_state attrs =
       Malformed
         ( a.attr_loc,
           "[@psnap.local_state] must carry a reason string explaining why \
-           this state is process-local" ))
+           this state is process-local" )))
+  |> with_generic ~rule:"R1" attrs
 
-(** R3 waiver: [[@psnap.helping]] (no payload needed) or
-    [[@psnap.bounded "reason"]] (reason mandatory). *)
+(** R3 waiver: [[@psnap.helping]] (no payload needed), [[@psnap.bounded
+    "reason"]] (reason mandatory), or the generic [[@lint "R3,..."]]. *)
 let loop_bound attrs =
-  match find_attr "psnap.helping" attrs with
+  (match find_attr "psnap.helping" attrs with
   | Some _ -> Waived "helping"
   | None -> (
     match find_attr "psnap.bounded" attrs with
@@ -64,4 +129,14 @@ let loop_bound attrs =
         Malformed
           ( a.attr_loc,
             "[@psnap.bounded] must carry a reason string stating the \
-             iteration bound" )))
+             iteration bound" ))))
+  |> with_generic ~rule:"R3" attrs
+
+(** R4 (domain-escape) waiver — generic form only. *)
+let domain_escape attrs = generic ~rule:"R4" attrs
+
+(** R5 (atomic-publication) waiver — generic form only. *)
+let atomic_publication attrs = generic ~rule:"R5" attrs
+
+(** R6 (frozen-view) waiver — generic form only. *)
+let frozen_view attrs = generic ~rule:"R6" attrs

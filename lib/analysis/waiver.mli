@@ -1,0 +1,46 @@
+(** Recognition of the waiver attributes that document deliberate
+    exceptions to the lint rules:
+
+    - [[@psnap.local_state "reason"]] — R1: genuinely process-local
+      scratch state (reason mandatory);
+    - [[@psnap.helping]] / [[@psnap.bounded "reason"]] — R3: why a retry
+      loop terminates;
+    - [[@lint "R4,R6: reason"]] — the generic form: a comma-separated
+      list of rule ids, optionally followed by [": reason"], waiving
+      exactly the listed rules on the annotated node.  The concurrency
+      rules R4–R6 have no dedicated attribute and are waived only through
+      this form. *)
+
+(** Result of looking for a waiver on a node. *)
+type check =
+  | Not_waived
+  | Waived of string  (** the reason *)
+  | Malformed of Location.t * string  (** waiver present but unusable *)
+
+(** [parse_rule_list "R4,R6: reason"] = [(["R4"; "R6"], "reason")];
+    without a colon the whole payload is the id list and the reason is
+    empty. *)
+val parse_rule_list : string -> string list * string
+
+(** [R<n>], [W<n>] or [E<n>]. *)
+val looks_like_rule_id : string -> bool
+
+(** Generic waiver: waives [rule] iff its id appears in the payload's
+    comma-separated list. *)
+val generic : rule:string -> Parsetree.attributes -> check
+
+(** R1 waiver: [[@psnap.local_state "reason"]] or [[@lint "R1,..."]]. *)
+val local_state : Parsetree.attributes -> check
+
+(** R3 waiver: [[@psnap.helping]], [[@psnap.bounded "reason"]] or
+    [[@lint "R3,..."]]. *)
+val loop_bound : Parsetree.attributes -> check
+
+(** R4 (domain-escape) waiver — generic form only. *)
+val domain_escape : Parsetree.attributes -> check
+
+(** R5 (atomic-publication) waiver — generic form only. *)
+val atomic_publication : Parsetree.attributes -> check
+
+(** R6 (frozen-view) waiver — generic form only. *)
+val frozen_view : Parsetree.attributes -> check

@@ -54,6 +54,8 @@ module Metrics = Psnap_sched.Metrics
 module Event = Psnap_sched.Event
 module Trace = Psnap_sched.Trace
 module Shrink = Psnap_sched.Shrink
+module Vclock = Psnap_sched.Vclock
+module Race = Psnap_sched.Race
 module Interval_set = Psnap_interval.Interval_set
 
 (** Histories and correctness checkers. *)

@@ -1,0 +1,51 @@
+(** Seeded workloads for the happens-before race checker: two
+    intentionally racy fixtures (the dynamic twins of the static fixtures
+    under [test/fixtures/]) and two clean controls.  Used by [bin/race],
+    [test_race] and the CI lint-race job. *)
+
+open Psnap
+
+type t = {
+  name : string;
+  n : int;  (** number of pids *)
+  racy : bool;  (** expected verdict under any interleaving schedule *)
+  describe : string;
+  procs : unit -> (unit -> unit) array;
+      (** fresh shared state + process bodies; call once per run *)
+}
+
+(** Two pids read-increment-write one plain cell — races. *)
+val racy_counter : t
+
+(** The same counter as an atomic cell with CAS retry — clean. *)
+val cas_counter : t
+
+(** Writer patches a plain buffer after releasing its publication flag —
+    the post-publication write races with the acquiring reader. *)
+val unpublished_view : t
+
+(** fig3 partial snapshot, 2 updaters + 1 scanner: all shared state is
+    atomic, so no races by construction. *)
+val clean_fig3 : t
+
+val all : t list
+
+val find : string -> t option
+
+(** One run under [sched] with the detector freshly enabled ([Race] state
+    is cleared, oids reset so schedules replay).  Returns the simulator
+    result and the races found; the detector is left enabled. *)
+val run :
+  ?record_trace:bool -> sched:Scheduler.t -> t -> Sim.result * Race.report list
+
+(** Does replaying [decisions] against a fresh instance of the fixture
+    (lenient, round-robin tail) still show a race?  The ddmin oracle. *)
+val races_under : t -> Scheduler.decision list -> bool
+
+(** A 1-minimal witness schedule for the first race the fixture shows
+    under [sched]: [(report, minimal schedule, oracle calls)], or [None]
+    if the run is race-free. *)
+val witness :
+  sched:Scheduler.t ->
+  t ->
+  (Race.report * Scheduler.decision list * int) option

@@ -18,6 +18,11 @@ type 'a ref_ = {
   mutable lose_next : int;  (** pending [Lost_write] faults on this cell *)
   mutable stale_next : int;  (** pending [Stale_read] faults on this cell *)
   mutable stuck : bool;  (** [Stuck_cell]: permanently refuses writes *)
+  plain : bool;
+      (** [make_plain] cell: models an {e unsynchronized} location (a raw
+          [ref] or mutable field shared across domains).  Reads and writes
+          create no happens-before edges and are checked by {!Race};
+          default cells are atomic and synchronize.  *)
 }
 
 (* Base objects allocated since the last reset — the space measure of the
@@ -224,7 +229,7 @@ let dispatch kind oid =
 
 let () = Sim.set_mem_fault_dispatcher dispatch
 
-let make ?(name = "r") v =
+let alloc ~plain name v =
   incr allocated;
   let r =
     {
@@ -236,14 +241,46 @@ let make ?(name = "r") v =
       lose_next = 0;
       stale_next = 0;
       stuck = false;
+      plain;
     }
   in
   if !tracking then Hashtbl.replace registry r.oid (apply_fault_to r);
   r
 
+let make ?(name = "r") v = alloc ~plain:false name v
+
+let make_plain ?(name = "r") v = alloc ~plain:true name v
+
+(* ---- happens-before hooks (docs/MODEL.md §12) ----
+
+   Called when an access *executes* (after [Sim.step] resumes), with the
+   accessor's identity from [Sim.current_pid].  Default cells are atomic
+   registers: a read acquires, a write releases, a successful CAS or
+   fetch-and-add does both; a *failed* CAS creates no edge.  Plain cells
+   synchronize nothing — every read/write is checked for conflicts.  The
+   hooks cost nothing unless the [Race] detector is enabled, and an access
+   outside any fiber (pre-run setup) is ordered before the whole run, so
+   it is not tracked. *)
+
+let notify_race r ~(op : Event.mem_op) ~sync =
+  if Race.enabled () then
+    match Sim.current_pid () with
+    | None -> ()
+    | Some pid -> (
+      match op with
+      | (Event.Read | Event.Write) when r.plain ->
+        Race.on_plain ~oid:r.oid ~name:r.name ~pid
+          ~op:(if op = Event.Read then `Read else `Write)
+      | Event.Read -> Race.on_sync ~oid:r.oid ~pid ~acquire:true ~release:false
+      | Event.Write ->
+        Race.on_sync ~oid:r.oid ~pid ~acquire:false ~release:true
+      | Event.Cas | Event.Faa ->
+        if sync then Race.on_sync ~oid:r.oid ~pid ~acquire:true ~release:true)
+
 let read r =
   guard r "read";
   Sim.step { oid = r.oid; obj_name = r.name; op = Event.Read };
+  notify_race r ~op:Event.Read ~sync:true;
   if r.stale_next > 0 then begin
     r.stale_next <- r.stale_next - 1;
     match r.hist with
@@ -257,6 +294,7 @@ let read r =
 let write r v =
   guard r "write";
   Sim.step { oid = r.oid; obj_name = r.name; op = Event.Write };
+  notify_race r ~op:Event.Write ~sync:true;
   if r.stuck then note_fired Event.Stuck_cell
   else if r.lose_next > 0 then begin
     r.lose_next <- r.lose_next - 1;
@@ -299,30 +337,37 @@ let cas r ~expected ~desired =
       true
     | _ -> false
   in
-  if (not spurious) && r.v == expected then
-    if r.stuck then begin
-      (* A stuck cell never changes, so refusal is indistinguishable from a
-         lost race — the honest failure mode for CAS. *)
-      note_fired Event.Stuck_cell;
-      false
-    end
-    else if r.lose_next > 0 then begin
-      (* Acknowledged-but-lost: reports success without installing — the
-         nastiest form of a lost write. *)
-      r.lose_next <- r.lose_next - 1;
-      note_fired Event.Lost_write;
-      true
-    end
-    else begin
-      push_hist r ~next:desired;
-      r.v <- desired;
-      true
-    end
-  else false
+  let ok =
+    if (not spurious) && r.v == expected then
+      if r.stuck then begin
+        (* A stuck cell never changes, so refusal is indistinguishable from
+           a lost race — the honest failure mode for CAS. *)
+        note_fired Event.Stuck_cell;
+        false
+      end
+      else if r.lose_next > 0 then begin
+        (* Acknowledged-but-lost: reports success without installing — the
+           nastiest form of a lost write. *)
+        r.lose_next <- r.lose_next - 1;
+        note_fired Event.Lost_write;
+        true
+      end
+      else begin
+        push_hist r ~next:desired;
+        r.v <- desired;
+        true
+      end
+    else false
+  in
+  (* The happens-before edge follows the *reported* outcome: code that saw
+     success behaves as if it synchronized. *)
+  notify_race r ~op:Event.Cas ~sync:ok;
+  ok
 
 let fetch_and_add r k =
   guard r "fetch_and_add";
   Sim.step { oid = r.oid; obj_name = r.name; op = Event.Faa };
+  notify_race r ~op:Event.Faa ~sync:true;
   let old = r.v in
   if r.stuck then note_fired Event.Stuck_cell
   else if r.lose_next > 0 then begin

@@ -1,0 +1,84 @@
+(** Happens-before race checking for simulated executions.
+
+    When enabled, every executed shared access reports here with the
+    accessor's pid ({!Sim.current_pid}) and the detector maintains one
+    {!Vclock.t} per pid:
+
+    - accesses to default {!Mem_sim} cells {e synchronize}: reads acquire,
+      writes release, successful CAS / fetch-and-add do both.  A {e failed}
+      CAS creates no happens-before edge — relying on one is a bug this
+      checker exists to catch;
+    - accesses to {e plain} cells ({!Mem_sim.make_plain} — models of an
+      unsynchronized [ref] or mutable field shared across domains) are
+      checked: two accesses to the same plain cell, at least one a write,
+      with neither happening-before the other, are a race.
+
+    Races are reported once per (cell, pid pair, kind) with both program
+    points: pid, op, and the global step clock of each access, which
+    indexes directly into a [Sim.run ~record_trace] trace — so a reported
+    race can be turned into a replayable (and ddmin-shrinkable) witness
+    schedule.  Runs whose shared state is all-atomic report no races by
+    construction.
+
+    The detector is global (the simulator is single-threaded) and spans
+    runs until {!reset}/{!enable}: harnesses re-running a workload under
+    many seeds reset it between seeds. *)
+
+type op = [ `Read | `Write ]
+
+type access = {
+  pid : int;
+  op : op;
+  clock : int;
+      (** global step count at the access — the program point; indexes
+          into a recorded trace's [Event.Step]s *)
+  vclock : Vclock.t;  (** the accessor's clock at the access *)
+}
+
+type kind = Write_write | Write_read | Read_write
+
+type report = {
+  oid : int;
+  name : string;
+  kind : kind;
+  first : access;  (** earlier in the serialized execution *)
+  second : access;
+}
+
+(** Switch the detector on for pids [0..n-1], clearing all state.
+    @raise Invalid_argument if [n < 1]. *)
+val enable : n:int -> unit -> unit
+
+val disable : unit -> unit
+
+val enabled : unit -> bool
+
+(** Clear clocks, cell metadata and reports, keeping the detector enabled
+    with the same pid count.  No-op when disabled. *)
+val reset : unit -> unit
+
+(** Reports, in detection order. *)
+val races : unit -> report list
+
+val race_count : unit -> int
+
+(** {2 Hooks — called by the memory backend} *)
+
+(** A synchronizing access to cell [oid]: [acquire] joins the cell's
+    published clock into [pid]'s, [release] publishes [pid]'s clock into
+    the cell's.  @raise Failure when the detector is disabled. *)
+val on_sync : oid:int -> pid:int -> acquire:bool -> release:bool -> unit
+
+(** An unsynchronized access to plain cell [oid]; checks it against the
+    cell's last write and the reads since, then records it. *)
+val on_plain : oid:int -> name:string -> pid:int -> op:op -> unit
+
+(** {2 Rendering} *)
+
+val kind_to_string : kind -> string
+
+val pp_access : Format.formatter -> access -> unit
+
+val pp_report : Format.formatter -> report -> unit
+
+val report_to_json : report -> string

@@ -57,6 +57,11 @@ type t = {
   record_trace : bool;
   max_steps : int;
   mutable oid_counter : int;
+  mutable running : int option;
+      (** pid whose access/continuation is currently executing; [None] at
+          scheduler decision points.  Lets the memory backend attribute an
+          access to a process (the happens-before checker needs the
+          accessor's identity, which the access code itself doesn't know) *)
 }
 
 type outcome =
@@ -102,6 +107,9 @@ let steps_of pid = (get_current "Sim.steps_of").procs.(pid).steps
 
 let incarnation_of pid =
   (get_current "Sim.incarnation_of").procs.(pid).incarnation
+
+let current_pid () =
+  match !current with Some t -> t.running | None -> None
 
 (* Cells allocated outside any run (test setup, harness [create] calls)
    get negative oids from this counter, so they are distinguishable fault
@@ -198,6 +206,7 @@ let run ?(record_trace = false) ?(max_steps = 50_000_000) ?recover ~sched
       record_trace;
       max_steps;
       oid_counter = 0;
+      running = None;
     }
   in
   current := Some t;
@@ -335,8 +344,12 @@ let run ?(record_trace = false) ?(max_steps = 50_000_000) ?recover ~sched
                     clock = t.clock;
                   }
                 :: t.trace;
-            (* Executes the pending access and runs until the next one. *)
-            Effect.Deep.continue k ()
+            (* Executes the pending access and runs until the next one.
+               [running] attributes everything up to the next suspension —
+               the access itself included — to [pid]. *)
+            t.running <- Some pid;
+            Effect.Deep.continue k ();
+            t.running <- None
           | _ -> failwith "Sim.run: scheduled a non-runnable process");
           loop ()
     in

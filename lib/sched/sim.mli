@@ -85,6 +85,14 @@ val steps_of : int -> int
 (** Current incarnation of process [pid] (1 = initial body). *)
 val incarnation_of : int -> int
 
+(** The pid whose pending access (and post-access code, up to its next
+    suspension) is currently executing; [None] outside any run, at
+    scheduler decision points, and during the step-free prefix a fiber
+    runs before its first shared access.  The memory backend uses this to
+    attribute an access to a process for the happens-before race
+    checker. *)
+val current_pid : unit -> int option
+
 (** {2 Used by the memory backend} *)
 
 (** Suspend at a shared access; the access itself must be performed

@@ -74,6 +74,24 @@ let mem_faults trace =
       | Event.Step _ | Event.Crash _ | Event.Restart _ -> None)
     trace
 
+(* The slice of a recorded execution spanning a race's two program points
+   (the step clocks in a [Race.report]), faults included: replaying the
+   prefix up to [until_clock] reproduces the race, and this window is where
+   the interesting interleaving lives. *)
+let race_window ~from_clock ~until_clock trace =
+  let clock_of = function
+    | Event.Step { clock; _ }
+    | Event.Crash { clock; _ }
+    | Event.Restart { clock; _ }
+    | Event.Mem_fault { clock; _ } ->
+      clock
+  in
+  List.filter
+    (fun e ->
+      let c = clock_of e in
+      c >= from_clock && c <= until_clock)
+    trace
+
 let schedule trace =
   List.map
     (function

@@ -1,0 +1,45 @@
+(** Functional vector clocks over pids [0..n-1], the timestamps of the
+    happens-before race checker ({!Race}).
+
+    Values are immutable: {!incr} and {!join} return fresh clocks, so a
+    snapshot stored at a write site stays the clock {e of that write} no
+    matter what the writing process does afterwards.
+
+    Laws (exercised by [test_vclock]):
+    - [join] is associative, commutative, idempotent, with [make n] as unit;
+    - [leq] is a partial order and [join a b] is the least upper bound;
+    - [incr t pid] is strictly above [t] and concurrent to any clock that
+      was concurrent to [t] in every other component. *)
+
+type t
+
+(** All-zeroes clock for [n] pids.
+    @raise Invalid_argument if [n < 1]. *)
+val make : int -> t
+
+val size : t -> int
+
+val get : t -> int -> int
+
+(** [incr t pid] — [t] with [pid]'s component advanced by one. *)
+val incr : t -> int -> t
+
+(** Component-wise maximum — the least upper bound of the happens-before
+    order.  @raise Invalid_argument on size mismatch. *)
+val join : t -> t -> t
+
+(** [leq a b] — every component of [a] is [<=] the corresponding component
+    of [b]; i.e. the events timestamped [a] happen-before (or equal)
+    those timestamped [b]. *)
+val leq : t -> t -> bool
+
+val equal : t -> t -> bool
+
+(** The happens-before partial order; [`Concurrent] is the racing case. *)
+val compare : t -> t -> [ `Lt | `Gt | `Eq | `Concurrent ]
+
+val copy : t -> t
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

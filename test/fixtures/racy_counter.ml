@@ -1,0 +1,31 @@
+(* Intentionally racy: the plain-ref counter shared across Domain.spawn.
+   Static twin of the dynamic [Race_fixtures.racy_counter] workload; linted
+   (never compiled) by test_lint, which expects R4 to flag both spawn sites
+   — the direct capture and the one through the [work] helper.
+
+   This is the textbook OCaml multicore bug: [counter] is an ordinary ref,
+   so the increments are plain (non-atomic) loads and stores with no
+   happens-before edge between domains.  The count that comes out is
+   whatever the interleaving left behind. *)
+
+let counter = ref 0
+
+let work () = counter := !counter + 1
+
+let racy_direct () =
+  let d = Domain.spawn (fun () -> counter := !counter + 1) in
+  counter := !counter + 1;
+  Domain.join d
+
+let racy_via_helper () =
+  let d = Domain.spawn (fun () -> work ()) in
+  work ();
+  Domain.join d
+
+(* Clean control: the same shape with an Atomic.t is not flagged. *)
+let atomic_counter = Atomic.make 0
+
+let fine () =
+  let d = Domain.spawn (fun () -> Atomic.incr atomic_counter) in
+  Atomic.incr atomic_counter;
+  Domain.join d

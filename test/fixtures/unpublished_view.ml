@@ -1,0 +1,39 @@
+(* Intentionally racy: the unpublished-view bug.  Static twin of the
+   dynamic [Race_fixtures.unpublished_view] workload; linted (never
+   compiled) by test_lint, which expects R5 to flag the post-publication
+   patch and the mutate-after-get, and R6 to flag the scan-result patch.
+
+   The publication protocol for shared structures is: build the value
+   completely, then release it with one atomic store.  Both functions below
+   break it by mutating after the release — the patch is a plain write that
+   some readers observe and others don't. *)
+
+let slot : int array Atomic.t = Atomic.make [||]
+
+(* R5, producer side: published, then patched in place. *)
+let publish_then_patch () =
+  let view = Array.make 4 0 in
+  view.(0) <- 1;
+  (* fine: before publication *)
+  Atomic.set slot view;
+  view.(1) <- 2
+(* bug: after publication *)
+
+(* R5, consumer side: a structure loaded from the atomic is patched. *)
+let patch_loaded () =
+  let view = Atomic.get slot in
+  view.(0) <- 0
+
+(* R6: a scan result is frozen at publication; patching it desynchronizes
+   the borrowers that already hold it. *)
+let patch_scan_result scan handle idxs =
+  let view = scan handle idxs in
+  view.(0) <- 0;
+  view
+
+(* Clean control: build fully, publish once — not flagged. *)
+let publish_clean () =
+  let view = Array.make 4 0 in
+  view.(0) <- 1;
+  view.(1) <- 2;
+  Atomic.set slot view

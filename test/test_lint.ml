@@ -8,6 +8,10 @@ module Diagnostic = Psnap_analysis.Diagnostic
 let lint source =
   Lint.lint_source ~ruleset:Lint.Algorithm ~file:"fixture.ml" source
 
+(* Runtime ruleset: R4–R6 only — what lib/runtime and lib/mem get. *)
+let lint_rt source =
+  Lint.lint_source ~ruleset:Lint.Runtime ~file:"fixture.ml" source
+
 let ids diags = List.map Diagnostic.rule_id (List.map (fun d -> d.Diagnostic.rule) diags)
 
 let check_ids = Alcotest.(check (list string))
@@ -163,8 +167,6 @@ let rec merge a b =
   in
   check_ids "structural recursion is clean" [] (ids diags)
 
-(* ---- injection: a planted escape in a real source must be caught ---- *)
-
 let rec find_repo_root dir =
   if Sys.file_exists (Filename.concat dir "lib/snapshot") then dir
   else
@@ -180,6 +182,231 @@ let read_file path =
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ---- waiver regressions ---- *)
+
+(* A [let rec .. and ..] group is one loop: the waiver argues about the
+   cycle, so annotating any binding of the group covers the rest.  This
+   used to flag the un-annotated mutual partner. *)
+let test_rec_group_waiver_covers_group () =
+  let diags =
+    lint
+      {|
+let[@psnap.helping] rec poll r = if M.read r = 0 then wait r else ()
+and wait r = poll r
+|}
+  in
+  check_ids "waiver on one binding covers the rec group" [] (ids diags)
+
+let test_rec_group_unwaived_flags_all () =
+  let diags = lint {|
+let rec poll r = if M.read r = 0 then wait r else ()
+and wait r = poll r
+|} in
+  check_ids "unwaived group flags both bindings" [ "R3"; "R3" ] (ids diags)
+
+let test_module_level_trailing_waiver () =
+  let diags =
+    lint
+      {|
+let rec poll r = if M.read r = 0 then poll r else ()
+  [@@psnap.bounded "flag is set within 2 steps"]
+|}
+  in
+  check_ids "trailing [@@] waiver on module-level let rec" [] (ids diags)
+
+(* One [@lint] attribute can waive several rules at once. *)
+let test_multi_rule_waiver () =
+  let bad =
+    {|
+let counter = ref 0
+
+let go () = Domain.spawn (fun () -> ignore !counter)
+|}
+  in
+  (* Unwaived under the algorithm ruleset: R1 (ref, !) and R4 both fire. *)
+  check_ids "unwaived: R1 twice and R4" [ "R1"; "R4"; "R1" ]
+    (ids (lint bad));
+  let waived =
+    {|
+let[@lint "R1,R4: joined before any read of the total"] counter = ref 0
+
+let go () = Domain.spawn (fun () -> ignore !counter)
+|}
+  in
+  check_ids "[@lint \"R1,R4\"] silences both rules" [] (ids (lint waived));
+  let partial =
+    {|
+let[@lint "R1: scratch"] counter = ref 0
+
+let go () = Domain.spawn (fun () -> ignore !counter)
+|}
+  in
+  check_ids "[@lint \"R1\"] alone leaves R4 firing" [ "R4" ]
+    (ids (lint partial))
+
+let test_generic_waiver_malformed () =
+  check_ids "[@lint] without payload is W0" [ "W0" ]
+    (ids (lint_rt {|
+let go c = (Domain.spawn (fun () -> ignore !c)) [@lint]
+|}));
+  check_ids "[@lint] with a non-rule id is W0" [ "W0" ]
+    (ids
+       (lint_rt
+          {|
+let go c = (Domain.spawn (fun () -> ignore !c)) [@lint "R4,bogus: x"]
+|}))
+
+(* ---- R4: domain-escape (runtime ruleset) ---- *)
+
+let test_domain_escape_direct () =
+  let diags =
+    lint_rt
+      {|
+let counter = ref 0
+
+let go () = Domain.spawn (fun () -> counter := !counter + 1)
+|}
+  in
+  check_ids "ref across Domain.spawn" [ "R4" ] (ids diags)
+
+let test_domain_escape_interprocedural () =
+  let diags =
+    lint_rt
+      {|
+let table = Hashtbl.create 8
+
+let work () = Hashtbl.add table 1 "x"
+
+let go () = Domain.spawn (fun () -> work ())
+|}
+  in
+  check_ids "root reached through a helper" [ "R4" ] (ids diags)
+
+let test_domain_escape_local_root_clean () =
+  let diags =
+    lint_rt
+      {|
+let go () =
+  Domain.spawn (fun () ->
+      let acc = ref 0 in
+      for i = 1 to 10 do acc := !acc + i done;
+      !acc)
+|}
+  in
+  check_ids "root allocated inside the closure is domain-local" []
+    (ids diags)
+
+let test_domain_escape_atomic_clean () =
+  let diags =
+    lint_rt
+      {|
+let counter = Atomic.make 0
+
+let go () = Domain.spawn (fun () -> Atomic.incr counter)
+|}
+  in
+  check_ids "Atomic.t capture is fine" [] (ids diags)
+
+let test_domain_escape_waived () =
+  let diags =
+    lint_rt
+      {|
+let log = ref []
+
+let go () =
+  (Domain.spawn (fun () -> log := "x" :: !log))
+  [@lint "R4: single writer, joined before any read"]
+|}
+  in
+  check_ids "waiver on the spawn site" [] (ids diags)
+
+(* ---- R5: atomic-publication (runtime ruleset) ---- *)
+
+let test_publish_then_patch () =
+  let diags =
+    lint_rt
+      {|
+let slot = Atomic.make [||]
+
+let rebuild () =
+  let buf = Array.make 4 0 in
+  Atomic.set slot buf;
+  buf.(0) <- 42
+|}
+  in
+  check_ids "mutate-after-publish" [ "R5" ] (ids diags)
+
+let test_patch_acquired () =
+  let diags =
+    lint_rt
+      {|
+let patch slot =
+  let cur = Atomic.get slot in
+  cur.(1) <- 7
+|}
+  in
+  check_ids "mutate a value loaded from an atomic" [ "R5" ] (ids diags)
+
+let test_publish_after_build_clean () =
+  let diags =
+    lint_rt
+      {|
+let rebuild slot =
+  let buf = Array.make 4 0 in
+  buf.(0) <- 42;
+  Atomic.set slot buf
+|}
+  in
+  check_ids "build fully then publish is the protocol" [] (ids diags)
+
+(* ---- R6: frozen-view (runtime ruleset) ---- *)
+
+let test_scan_result_patched () =
+  let diags =
+    lint_rt
+      {|
+let snap scan h idxs =
+  let view = scan h idxs in
+  view.(0) <- 0;
+  view
+|}
+  in
+  check_ids "scan result mutated" [ "R6" ] (ids diags)
+
+let test_scan_result_copied_clean () =
+  let diags =
+    lint_rt
+      {|
+let snap scan h idxs =
+  let view = scan h idxs in
+  let out = Array.copy view in
+  out.(0) <- 0;
+  out
+|}
+  in
+  check_ids "copy before patching" [] (ids diags)
+
+(* ---- the intentionally racy fixture files ---- *)
+
+let fixture_path name =
+  Filename.concat (Lazy.force repo_root) (Filename.concat "test/fixtures" name)
+
+let test_fixture_racy_counter () =
+  let diags =
+    Lint.lint_file ~ruleset:Lint.Runtime (fixture_path "racy_counter.ml")
+  in
+  check_ids "both spawn sites flagged, atomic control clean" [ "R4"; "R4" ]
+    (ids diags)
+
+let test_fixture_unpublished_view () =
+  let diags =
+    Lint.lint_file ~ruleset:Lint.Runtime (fixture_path "unpublished_view.ml")
+  in
+  check_ids "producer and consumer R5, scan patch R6" [ "R5"; "R5"; "R6" ]
+    (ids diags)
+
+(* ---- injection: a planted escape in a real source must be caught ---- *)
 
 let test_injected_escape_caught () =
   let path =
@@ -226,18 +453,30 @@ let test_shipped_tree_clean () =
     "no violations in the shipped tree" []
     (List.map (Format.asprintf "%a" Diagnostic.pp) diags)
 
-(* ---- infrastructure code is exempt ---- *)
+(* ---- rulesets by path ---- *)
 
-let test_exempt_paths () =
+let test_rulesets_by_path () =
   Alcotest.(check bool)
-    "lib/mem is exempt" true
-    (Lint.ruleset_for_path "lib/mem/mem_sim.ml" = Lint.Exempt);
+    "lib/mem gets the runtime ruleset" true
+    (Lint.ruleset_for_path "lib/mem/hardened.ml" = Lint.Runtime);
   Alcotest.(check bool)
-    "lib/snapshot is checked" true
+    "lib/runtime gets the runtime ruleset" true
+    (Lint.ruleset_for_path "lib/runtime/sharded.ml" = Lint.Runtime);
+  Alcotest.(check bool)
+    "lib/snapshot gets the algorithm ruleset" true
     (Lint.ruleset_for_path "lib/snapshot/collect.ml" = Lint.Algorithm);
+  Alcotest.(check bool)
+    "lib/sched (the single-threaded simulator) is exempt" true
+    (Lint.ruleset_for_path "lib/sched/sim.ml" = Lint.Exempt);
+  (* Raw mutability is the runtime layer's job: no R1 there, only R4–R6. *)
+  check_ids "a raw ref alone is fine under the runtime ruleset" []
+    (ids
+       (Lint.lint_source ~file:"lib/mem/whatever.ml" "let evil = ref 0"));
   check_ids "exempt file produces nothing" []
     (ids
-       (Lint.lint_source ~file:"lib/mem/whatever.ml" "let evil = ref 0"))
+       (Lint.lint_source ~file:"lib/sched/whatever.ml"
+          "let evil = ref 0\n\nlet go () = Domain.spawn (fun () -> incr \
+           evil)"))
 
 let () =
   Alcotest.run "lint"
@@ -269,6 +508,53 @@ let () =
           Alcotest.test_case "pure recursion" `Quick
             test_pure_recursion_not_flagged;
         ] );
+      ( "waivers",
+        [
+          Alcotest.test_case "rec group covered by one waiver" `Quick
+            test_rec_group_waiver_covers_group;
+          Alcotest.test_case "unwaived rec group" `Quick
+            test_rec_group_unwaived_flags_all;
+          Alcotest.test_case "module-level trailing waiver" `Quick
+            test_module_level_trailing_waiver;
+          Alcotest.test_case "multi-rule [@lint]" `Quick
+            test_multi_rule_waiver;
+          Alcotest.test_case "malformed [@lint]" `Quick
+            test_generic_waiver_malformed;
+        ] );
+      ( "domain-escape",
+        [
+          Alcotest.test_case "direct capture" `Quick
+            test_domain_escape_direct;
+          Alcotest.test_case "via helper" `Quick
+            test_domain_escape_interprocedural;
+          Alcotest.test_case "closure-local root" `Quick
+            test_domain_escape_local_root_clean;
+          Alcotest.test_case "atomic capture" `Quick
+            test_domain_escape_atomic_clean;
+          Alcotest.test_case "waived spawn" `Quick test_domain_escape_waived;
+        ] );
+      ( "atomic-publication",
+        [
+          Alcotest.test_case "publish then patch" `Quick
+            test_publish_then_patch;
+          Alcotest.test_case "patch acquired" `Quick test_patch_acquired;
+          Alcotest.test_case "build then publish" `Quick
+            test_publish_after_build_clean;
+        ] );
+      ( "frozen-view",
+        [
+          Alcotest.test_case "scan result patched" `Quick
+            test_scan_result_patched;
+          Alcotest.test_case "copy before patch" `Quick
+            test_scan_result_copied_clean;
+        ] );
+      ( "fixtures",
+        [
+          Alcotest.test_case "racy_counter.ml" `Quick
+            test_fixture_racy_counter;
+          Alcotest.test_case "unpublished_view.ml" `Quick
+            test_fixture_unpublished_view;
+        ] );
       ( "injection",
         [
           Alcotest.test_case "planted ref escape" `Quick
@@ -280,6 +566,6 @@ let () =
         [
           Alcotest.test_case "shipped tree clean" `Quick
             test_shipped_tree_clean;
-          Alcotest.test_case "exempt paths" `Quick test_exempt_paths;
+          Alcotest.test_case "rulesets by path" `Quick test_rulesets_by_path;
         ] );
     ]

@@ -1,0 +1,199 @@
+(* Vector-clock laws, and the happens-before edges the race checker
+   derives from synchronizing accesses — in particular that a successful
+   CAS orders (acquire + release) while a failed CAS orders nothing. *)
+
+open Psnap
+module V = Psnap_sched.Vclock
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+(* A deterministic little family of clocks to quantify over. *)
+let samples n =
+  let z = V.make n in
+  let a = V.incr z 0 in
+  let b = V.incr z (n - 1) in
+  let ab = V.join a b in
+  let aa = V.incr a 0 in
+  [ z; a; b; ab; aa; V.join aa b; V.incr ab (n / 2) ]
+
+(* ---- lattice laws ---- *)
+
+let test_join_laws () =
+  let cs = samples 3 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          check_bool "join commutes" true
+            (V.equal (V.join a b) (V.join b a));
+          List.iter
+            (fun c ->
+              check_bool "join associates" true
+                (V.equal
+                   (V.join (V.join a b) c)
+                   (V.join a (V.join b c))))
+            cs)
+        cs;
+      check_bool "join idempotent" true (V.equal (V.join a a) a);
+      check_bool "zero is the unit" true (V.equal (V.join a (V.make 3)) a))
+    cs
+
+let test_leq_partial_order () =
+  let cs = samples 3 in
+  List.iter
+    (fun a ->
+      check_bool "reflexive" true (V.leq a a);
+      List.iter
+        (fun b ->
+          (* antisymmetry *)
+          if V.leq a b && V.leq b a then
+            check_bool "antisymmetric" true (V.equal a b);
+          (* join is an upper bound... *)
+          check_bool "a <= a|b" true (V.leq a (V.join a b));
+          check_bool "b <= a|b" true (V.leq b (V.join a b));
+          (* ...and the least one *)
+          List.iter
+            (fun c ->
+              if V.leq a c && V.leq b c then
+                check_bool "least upper bound" true (V.leq (V.join a b) c))
+            cs;
+          List.iter
+            (fun c ->
+              if V.leq a b && V.leq b c then
+                check_bool "transitive" true (V.leq a c))
+            cs)
+        cs)
+    cs
+
+let test_incr () =
+  let z = V.make 4 in
+  let a = V.incr z 2 in
+  check_int "incremented component" 1 (V.get a 2);
+  check_int "other components untouched" 0 (V.get a 0);
+  check_bool "strictly above" true (V.leq z a && not (V.leq a z));
+  check_bool "incr is fresh, original unchanged" true
+    (V.equal z (V.make 4));
+  check_bool "concurrent increments are incomparable" true
+    (V.compare (V.incr z 0) (V.incr z 1) = `Concurrent)
+
+let test_compare () =
+  let z = V.make 2 in
+  let a = V.incr z 0 in
+  let b = V.incr z 1 in
+  check_bool "eq" true (V.compare a a = `Eq);
+  check_bool "lt" true (V.compare z a = `Lt);
+  check_bool "gt" true (V.compare a z = `Gt);
+  check_bool "concurrent" true (V.compare a b = `Concurrent)
+
+(* ---- happens-before edges through the memory backend ----
+
+   One writer, one reader, one atomic flag, one plain buffer.  The reader
+   polls the flag and then reads the buffer.  Whether the buffer access
+   races depends entirely on whether the writer's flag CAS created a
+   release edge the reader's polls acquired. *)
+
+let publish_scenario ~expected () =
+  Sim.reset_prerun_oids ();
+  Race.enable ~n:2 ();
+  let flag = Mem.Sim.make ~name:"flag" 0 in
+  let buf = Mem.Sim.make_plain ~name:"buf" 0 in
+  let writer () =
+    Mem.Sim.write buf 1;
+    ignore (Mem.Sim.cas flag ~expected ~desired:1)
+  in
+  let reader () =
+    let rec poll budget =
+      if budget > 0 && Mem.Sim.read flag = 0 then poll (budget - 1)
+    in
+    poll 10;
+    ignore (Mem.Sim.read buf)
+  in
+  let _ =
+    Sim.run ~sched:(Scheduler.round_robin ()) [| writer; reader |]
+  in
+  let races = Race.races () in
+  Race.disable ();
+  races
+
+let test_cas_success_orders () =
+  (* expected = 0 matches: the CAS succeeds, releasing the writer's clock;
+     the reader's successful poll acquires it, ordering the buffer pair. *)
+  check_int "successful CAS publish: no race" 0
+    (List.length (publish_scenario ~expected:0 ()))
+
+let test_cas_failure_does_not_order () =
+  (* expected = 99 never matches: the CAS fails and must create no edge,
+     so the buffer write/read pair is unordered — a race. *)
+  let races = publish_scenario ~expected:99 () in
+  check_bool "failed CAS publish: race reported" true (races <> []);
+  let r = List.hd races in
+  Alcotest.(check string) "on the plain buffer" "buf" r.Race.name
+
+let test_write_read_edge () =
+  (* Same scenario with a plain write to the flag instead of a CAS: an
+     atomic write releases, an atomic read acquires. *)
+  Sim.reset_prerun_oids ();
+  Race.enable ~n:2 ();
+  let flag = Mem.Sim.make ~name:"flag" 0 in
+  let buf = Mem.Sim.make_plain ~name:"buf" 0 in
+  let writer () =
+    Mem.Sim.write buf 1;
+    Mem.Sim.write flag 1
+  in
+  let reader () =
+    let rec poll budget =
+      if budget > 0 && Mem.Sim.read flag = 0 then poll (budget - 1)
+    in
+    poll 10;
+    ignore (Mem.Sim.read buf)
+  in
+  let _ = Sim.run ~sched:(Scheduler.round_robin ()) [| writer; reader |] in
+  let races = Race.races () in
+  Race.disable ();
+  check_int "atomic write/read pair orders the plain pair" 0
+    (List.length races)
+
+let test_faa_orders () =
+  (* Fetch-and-add is an unconditional read-modify-write: both acquire and
+     release.  Two pids alternating F&A on a counter, each writing a plain
+     cell before and reading it after: no races. *)
+  Sim.reset_prerun_oids ();
+  Race.enable ~n:2 ();
+  let c = Mem.Sim.make ~name:"c" 0 in
+  let scratch = Mem.Sim.make_plain ~name:"scratch" 0 in
+  let p pid () =
+    (* Only pid 0 touches the plain cell before its F&A; pid 1 reads it
+       after — ordered through the F&A chain on [c]. *)
+    if pid = 0 then Mem.Sim.write scratch 7;
+    ignore (Mem.Sim.fetch_and_add c 1);
+    if pid = 1 && Mem.Sim.read c >= 2 then ignore (Mem.Sim.read scratch)
+  in
+  let _ = Sim.run ~sched:(Scheduler.round_robin ()) [| p 0; p 1 |] in
+  let races = Race.races () in
+  Race.disable ();
+  check_int "F&A chain orders across pids" 0 (List.length races)
+
+let () =
+  Alcotest.run "vclock"
+    [
+      ( "laws",
+        [
+          Alcotest.test_case "join lattice" `Quick test_join_laws;
+          Alcotest.test_case "leq partial order" `Quick
+            test_leq_partial_order;
+          Alcotest.test_case "incr" `Quick test_incr;
+          Alcotest.test_case "compare" `Quick test_compare;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "CAS success orders" `Quick
+            test_cas_success_orders;
+          Alcotest.test_case "CAS failure does not" `Quick
+            test_cas_failure_does_not_order;
+          Alcotest.test_case "write releases, read acquires" `Quick
+            test_write_read_edge;
+          Alcotest.test_case "F&A orders" `Quick test_faa_orders;
+        ] );
+    ]
