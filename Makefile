@@ -121,6 +121,37 @@ chaos-runtime:
 	  --scan window --duration 500ms --warmup 0.1s --seed 42 \
 	  --open-shard 0 --json $(ARTIFACTS)/loadgen-resilient-open.json
 
+# Durability campaign (E18, docs/MODEL.md §13): the durable Figure 3
+# under power-loss fault injection.  The sweep injects a blackout at
+# every schedule point and every execution must recover to a durably
+# linearizable state; the storm composes seeded blackouts with crash
+# storms and checkpoints; the late-log run demonstrates the oracle
+# actually catches committed-then-lost recovery bugs (its shrunk witness
+# lands in _artifacts/; the committed reference witness lives in
+# schedules/); the loadgen run prices the WAL against plain fig3.
+# CHAOS_DURABLE_SEED lets CI sweep seeds.
+CHAOS_DURABLE_SEED ?= 0
+chaos-durable:
+	dune build bin/simulate.exe bin/loadgen.exe
+	mkdir -p $(ARTIFACTS)
+	dune exec bin/simulate.exe -- --impl durable -m 8 -r 4 --updaters 2 \
+	  --updates 5 --scanners 1 --scans 3 --power-loss sweep \
+	  --seed $(CHAOS_DURABLE_SEED) --seeds 2 \
+	  --json $(ARTIFACTS)/chaos-durable-sweep-$(CHAOS_DURABLE_SEED).json
+	dune exec bin/simulate.exe -- --impl durable --power-loss storm \
+	  --nemesis storm --checkpoint-every 4 \
+	  --seed $(CHAOS_DURABLE_SEED) --seeds 20 \
+	  --json $(ARTIFACTS)/chaos-durable-storm-$(CHAOS_DURABLE_SEED).json
+	dune exec bin/simulate.exe -- --impl durable -m 4 -r 4 --updaters 1 \
+	  --updates 3 --scanners 2 --scans 6 --power-loss sweep \
+	  --wal-mode late-log --expect-violations --shrink \
+	  --seed 1 --seeds 1 \
+	  --replay-file $(ARTIFACTS)/e18-durable-latelog-$(CHAOS_DURABLE_SEED).sched \
+	  --json $(ARTIFACTS)/chaos-durable-latelog-$(CHAOS_DURABLE_SEED).json
+	dune exec bin/loadgen.exe -- --impl durable -m 1024 -r 16 --domains 2 \
+	  --mix 1u+1s --scan window --duration 500ms --warmup 0.1s --seed 42 \
+	  --json $(ARTIFACTS)/loadgen-durable.json
+
 # The artifacts referenced by EXPERIMENTS.md.
 pin-outputs:
 	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
@@ -130,4 +161,4 @@ clean:
 	dune clean
 	rm -rf $(ARTIFACTS)
 
-.PHONY: all test lint race bench chaos chaos-mem chaos-runtime loadgen-smoke examples pin-outputs clean
+.PHONY: all test lint race bench chaos chaos-mem chaos-runtime chaos-durable loadgen-smoke examples pin-outputs clean

@@ -25,7 +25,8 @@ let flat_impls : (string * (module Snapshot.S)) list =
   ]
 
 let impl_names =
-  List.map fst flat_impls @ [ "sharded"; "sharded-relaxed"; "resilient" ]
+  List.map fst flat_impls
+  @ [ "sharded"; "sharded-relaxed"; "resilient"; "durable" ]
 
 let impl_of ~shards ~partition ~open_shard name : (module Snapshot.S) =
   match name with
@@ -70,6 +71,12 @@ let impl_of ~shards ~partition ~open_shard name : (module Snapshot.S) =
         | None -> ());
         t
     end)
+  | "durable" ->
+    (* Figure 3 behind the write-ahead log on the mutex-guarded multicore
+       device: every update pays append + sync + commit-lock serialization
+       before it acknowledges.  Measured against plain fig3, this prices
+       durability in the latency histograms (EXPERIMENTS.md E18). *)
+    (module Mc_durable_fig3)
   | _ -> (
     match List.assoc_opt name flat_impls with
     | Some m -> m

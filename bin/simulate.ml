@@ -36,7 +36,7 @@ let impls : (string * (module Snapshot.S)) list =
   ]
 
 let impl_names =
-  List.map fst impls @ [ "sharded"; "sharded-relaxed"; "resilient" ]
+  List.map fst impls @ [ "sharded"; "sharded-relaxed"; "resilient"; "durable" ]
 
 (* sharded implementations take their geometry from --shards, so they are
    built at runtime rather than listed statically *)
@@ -357,15 +357,374 @@ let run_resilient shards m r updaters updates scanners scans sched_name
   | None -> ());
   if !fail then 1 else 0
 
+(* The durable implementation gets a dedicated campaign too: its object
+   pairs volatile memory with a storage device that survives power losses,
+   so the workload needs power-loss-aware recovery bodies.  A restarted
+   fiber first asks the device whether a blackout condemned the in-memory
+   state (the loss counter moved): if so, the first such fiber rebuilds
+   the object from the log — step-free, hence atomic under the simulator —
+   and later fibers adopt it; if not (a plain crash–restart), the object
+   survives and the fiber merely completes any commit intent its dead
+   incarnation left published in the lock.  History recording continues
+   across the blackout inside one run, so the observation checker sees
+   pre-loss acknowledgements next to post-recovery scans and flags any
+   committed-then-lost or resurrected-uncommitted value. *)
+let run_durable m r updaters updates scanners scans sched_name seed_base
+    seeds nemesis_name mem_kinds mem_rate mem_max power_loss_arg
+    checkpoint_every wal_mode expect_violations shrink replay_file json_file
+    =
+  let module D = Sim_durable_fig3 in
+  let module St = Persist.Storage.Sim in
+  let config =
+    {
+      D.checkpoint_every;
+      write_ahead =
+        (match wal_mode with
+        | "write-ahead" -> true
+        | "late-log" -> false
+        | s ->
+          Printf.eprintf
+            "unknown --wal-mode %S (choose from: write-ahead, late-log)\n" s;
+          exit 2);
+    }
+  in
+  let power_mode =
+    match power_loss_arg with
+    | "none" -> `None
+    | "storm" -> `Storm
+    | "sweep" -> `Sweep
+    | s -> (
+      match int_of_string_opt s with
+      | Some c when c >= 0 -> `At c
+      | _ ->
+        Printf.eprintf
+          "unknown --power-loss %S (choose from: none, storm, sweep, or a \
+           clock value)\n"
+          s;
+        exit 2)
+  in
+  if r > m then (
+    Printf.eprintf "r (%d) must be <= m (%d)\n" r m;
+    exit 2);
+  let n = updaters + scanners in
+  let scanner_pids = List.init scanners (fun j -> updaters + j) in
+  let init = Array.init m (fun i -> -(i + 1)) in
+  Mem.Sim.set_fault_tracking true;
+  Metrics.reset_mem_faults ();
+  Metrics.reset_durable ();
+  let violations = ref 0 in
+  let samples = ref [] in
+  let worst_collects = ref 0 in
+  let total_crashes = ref 0 in
+  let total_restarts = ref 0 in
+  let total_steps = ref 0 in
+  let failing_schedule = ref None in
+  let run_once ~record_trace ~sched =
+    let rec_ = Metrics.create () in
+    let hist = History.create ~now:Sim.mark () in
+    Sim.reset_prerun_oids ();
+    St.reset ();
+    let cur = ref (D.create_with ~config ~n (Array.copy init)) in
+    let seen_losses = ref 0 in
+    (* Called in a restarted fiber's step-free prefix, so the check and the
+       (step-free) rebuild complete atomically: no peer can observe a
+       half-recovered object. *)
+    let rebuild_if_power_lost () =
+      let dev = D.storage !cur in
+      let l = St.losses dev in
+      if l > !seen_losses then begin
+        seen_losses := l;
+        cur := D.recover ~config dev ~n init
+      end
+    in
+    let updater ~incarnation pid () =
+      if incarnation > 1 then rebuild_if_power_lost ();
+      let h = D.handle !cur ~pid in
+      (* After a plain crash–restart the commit lock may still hold this
+         pid's published intent; after a power loss the lock is fresh and
+         this is a no-op. *)
+      if incarnation > 1 then D.resume h;
+      for k = 1 to updates do
+        let i = (k + (pid * 7)) mod m in
+        let v = (pid * 1_000_000) + (incarnation * 10_000) + k in
+        Metrics.measure rec_ ~pid ~kind:"update" (fun () ->
+            ignore
+              (History.record hist ~pid (Snapshot_spec.Update (i, v))
+                 (fun () ->
+                   D.update h i v;
+                   Snapshot_spec.Ack)))
+      done
+    in
+    let scanner ~incarnation pid () =
+      if incarnation > 1 then rebuild_if_power_lost ();
+      let h = D.handle !cur ~pid in
+      let idxs =
+        Array.init r (fun k -> ((pid - updaters) + (k * (m / max r 1))) mod m)
+        |> Array.to_list |> List.sort_uniq compare |> Array.of_list
+      in
+      for _ = 1 to scans do
+        Metrics.measure rec_ ~pid ~kind:"scan" (fun () ->
+            ignore
+              (History.record hist ~pid (Snapshot_spec.Scan idxs) (fun () ->
+                   Snapshot_spec.Vals (D.scan h idxs))));
+        worst_collects := max !worst_collects (D.last_scan_collects h)
+      done
+    in
+    let body ~incarnation pid =
+      if pid < updaters then updater ~incarnation pid
+      else scanner ~incarnation pid
+    in
+    let procs = Array.init n (fun pid -> body ~incarnation:1 pid) in
+    let recover = Some (fun ~pid ~incarnation -> body ~incarnation pid) in
+    let res = Sim.run ~record_trace ?recover ~sched procs in
+    let viols =
+      Snapshot_spec.check_observations ~init (History.entries hist)
+    in
+    (res, viols, Metrics.samples rec_)
+  in
+  let sched_for ~seed ~power =
+    let w = sched_of sched_name ~scanner_pids ~seed in
+    let w = nemesis_of nemesis_name ~seed w in
+    let w =
+      match mem_kinds with
+      | Some kinds ->
+        Scheduler.mem_storm ~seed ~kinds ~rate:mem_rate ~max_faults:mem_max w
+      | None -> w
+    in
+    match power with
+    | `None -> w
+    | `At c -> Scheduler.power_loss_at ~at_clock:c w
+    | `Storm -> Scheduler.power_storm ~seed w
+  in
+  let fallback = Scheduler.round_robin () in
+  let replay_sched decisions =
+    Scheduler.replay_decisions ~lenient:true ~fallback decisions
+  in
+  let fails decisions =
+    match run_once ~record_trace:false ~sched:(replay_sched decisions) with
+    | _, viols, _ -> viols <> []
+    | exception _ -> true
+  in
+  let account (res : Sim.result) viols smpls =
+    samples := smpls :: !samples;
+    total_crashes := !total_crashes + List.length res.crashed;
+    total_restarts :=
+      !total_restarts
+      + Array.fold_left (fun a i -> a + (i - 1)) 0 res.incarnations;
+    total_steps := !total_steps + res.clock;
+    violations := !violations + List.length viols
+  in
+  let note_failure ~label res viols =
+    if viols <> [] then begin
+      Printf.printf "%s: %d violations\n" label (List.length viols);
+      List.iter (fun v -> Fmt.pr "  %a@." Snapshot_spec.pp_violation v) viols;
+      if shrink && !failing_schedule = None then
+        failing_schedule := Some (Trace.schedule res.Sim.trace)
+    end
+  in
+  let replaying = replay_file <> None && not shrink in
+  let runs =
+    match replay_file with
+    | Some path when replaying ->
+      let decisions = Shrink.load path in
+      Printf.printf "replaying %d decisions from %s\n"
+        (List.length decisions) path;
+      let res, viols, smpls =
+        run_once ~record_trace:false ~sched:(replay_sched decisions)
+      in
+      account res viols smpls;
+      List.iter (fun v -> Fmt.pr "  %a@." Snapshot_spec.pp_violation v) viols;
+      1
+    | _ -> (
+      match power_mode with
+      | `Sweep ->
+        (* A blackout at every schedule point: one clean baseline per seed
+           to learn the schedule length, then one run per clock value. *)
+        let total = ref 0 in
+        for s = 0 to seeds - 1 do
+          let seed = seed_base + s in
+          let res0, viols0, smpls0 =
+            run_once ~record_trace:false ~sched:(sched_for ~seed ~power:`None)
+          in
+          account res0 viols0 smpls0;
+          incr total;
+          note_failure ~label:(Printf.sprintf "seed %d baseline" seed) res0
+            viols0;
+          for c = 1 to res0.Sim.clock - 1 do
+            match
+              run_once ~record_trace:shrink
+                ~sched:(sched_for ~seed ~power:(`At c))
+            with
+            | res, viols, smpls ->
+              account res viols smpls;
+              incr total;
+              note_failure
+                ~label:(Printf.sprintf "seed %d power-loss@%d" seed c)
+                res viols
+            | exception e ->
+              incr violations;
+              incr total;
+              Printf.printf "seed %d power-loss@%d: harness crash: %s\n" seed
+                c (Printexc.to_string e)
+          done
+        done;
+        !total
+      | (`None | `At _ | `Storm) as power ->
+        for s = 0 to seeds - 1 do
+          let seed = seed_base + s in
+          match
+            run_once ~record_trace:shrink ~sched:(sched_for ~seed ~power)
+          with
+          | res, viols, smpls ->
+            account res viols smpls;
+            note_failure ~label:(Printf.sprintf "seed %d" seed) res viols
+          | exception e ->
+            incr violations;
+            Printf.printf "seed %d: harness crash: %s\n" seed
+              (Printexc.to_string e)
+        done;
+        seeds)
+  in
+  (* Campaign counters, snapshotted before the shrinker's oracle runs pile
+     more on top. *)
+  let dm = Metrics.durable () in
+  let shrunk_len =
+    match !failing_schedule with
+    | None -> None
+    | Some schedule ->
+      if not (fails schedule) then begin
+        Printf.printf
+          "shrink: recorded schedule does not reproduce deterministically; \
+           skipping\n";
+        None
+      end
+      else begin
+        let minimal, calls = Shrink.minimize ~oracle:fails schedule in
+        Printf.printf "shrink: %d decisions -> %d minimal (%d oracle runs)\n"
+          (List.length schedule) (List.length minimal) calls;
+        List.iter
+          (fun d -> print_endline (Scheduler.decision_to_string d))
+          minimal;
+        Option.iter
+          (fun path ->
+            Shrink.save path minimal;
+            Printf.printf "shrink: minimal schedule saved to %s\n" path)
+          replay_file;
+        Some (List.length minimal)
+      end
+  in
+  let all = List.concat !samples in
+  let of_kind k = List.filter (fun (s : Metrics.sample) -> s.kind = k) all in
+  let row kind =
+    let ss = of_kind kind in
+    [
+      kind;
+      string_of_int (List.length ss);
+      Printf.sprintf "%.1f" (Metrics.mean_steps ss);
+      string_of_int (Metrics.max_steps ss);
+    ]
+  in
+  Table.print
+    (Table.make
+       ~title:
+         (Printf.sprintf
+            "%s: m=%d r=%d %d updaters x %d, %d scanners x %d, %s, %d \
+             runs%s%s%s"
+            D.name m r updaters updates scanners scans sched_name runs
+            (if nemesis_name <> "none" then ", nemesis " ^ nemesis_name
+             else "")
+            (if power_loss_arg <> "none" then
+               ", power-loss " ^ power_loss_arg
+             else "")
+            (if wal_mode <> "write-ahead" then ", wal-mode " ^ wal_mode
+             else ""))
+       ~header:[ "operation"; "count"; "mean steps"; "worst steps" ]
+       [ row "update"; row "scan" ]);
+  Printf.printf "worst collects per scan: %d\n" !worst_collects;
+  Printf.printf "faults: %d crashes, %d restarts, %d power losses\n"
+    !total_crashes !total_restarts dm.Metrics.power_losses;
+  Fmt.pr "%a@." Metrics.pp_durable dm;
+  let mf = Metrics.mem_faults () in
+  if Metrics.total_injected mf > 0 then Fmt.pr "%a@." Metrics.pp_mem_faults mf;
+  Option.iter
+    (fun path ->
+      write_json path
+        [
+          ("impl", Printf.sprintf "%S" D.name);
+          ("sched", Printf.sprintf "%S" sched_name);
+          ("nemesis", Printf.sprintf "%S" nemesis_name);
+          ("power_loss", Printf.sprintf "%S" power_loss_arg);
+          ("wal_mode", Printf.sprintf "%S" wal_mode);
+          ("checkpoint_every", string_of_int checkpoint_every);
+          ("seed_base", string_of_int seed_base);
+          ("runs", string_of_int runs);
+          ("steps", string_of_int !total_steps);
+          ("crashes", string_of_int !total_crashes);
+          ("restarts", string_of_int !total_restarts);
+          ("violations", string_of_int !violations);
+          ("power_losses", string_of_int dm.Metrics.power_losses);
+          ("recoveries", string_of_int dm.Metrics.recoveries);
+          ("replayed_updates", string_of_int dm.Metrics.replayed_updates);
+          ("wal_appends", string_of_int dm.Metrics.wal_appends);
+          ("wal_syncs", string_of_int dm.Metrics.wal_syncs);
+          ("wal_bytes", string_of_int dm.Metrics.wal_bytes);
+          ("commits", string_of_int dm.Metrics.commits);
+          ("checkpoints", string_of_int dm.Metrics.checkpoints);
+          ("torn_records", string_of_int dm.Metrics.torn_records);
+          ("corrupt_records", string_of_int dm.Metrics.corrupt_records);
+          ("truncated_bytes", string_of_int dm.Metrics.truncated_bytes);
+          ( "shrunk_schedule_len",
+            match shrunk_len with Some l -> string_of_int l | None -> "null"
+          );
+        ];
+      Printf.printf "json summary written to %s\n" path)
+    json_file;
+  let fail = ref false in
+  (match power_mode with
+  | `Sweep when dm.Metrics.recoveries = 0 ->
+    Printf.printf
+      "recovery: power-loss sweep completed without a single rebuild\n";
+    fail := true
+  | `Storm when dm.Metrics.power_losses = 0 && not replaying ->
+    Printf.printf
+      "power-loss: storm requested but no blackout fired (run too short?)\n"
+  | _ -> ());
+  if expect_violations then
+    if !violations > 0 then
+      Printf.printf
+        "checker: %d violations (expected: late-log mode acknowledges \
+         before the barrier)\n"
+        !violations
+    else begin
+      Printf.printf "checker: NO violations, but --expect-violations was given\n";
+      fail := true
+    end
+  else if !violations = 0 then
+    Printf.printf
+      "checker: all %d executions durably linearizable (observation check)\n"
+      runs
+  else begin
+    Printf.printf "checker: %d VIOLATIONS\n" !violations;
+    fail := true
+  end;
+  if !fail then 1 else 0
+
 let rec run impl_name shards m r updaters updates scanners scans sched_name
     seed_base seeds check crash_at nemesis_name mem_faults_arg mem_rate
     mem_max expect_violations shrink replay_file json_file stick_epoch
-    stall_shard slow_pid max_rounds =
+    stall_shard slow_pid max_rounds power_loss_arg checkpoint_every wal_mode
+    =
   if impl_name = "resilient" then
     run_resilient shards m r updaters updates scanners scans sched_name
       seed_base seeds nemesis_name
       (mem_kinds_of mem_faults_arg)
       mem_rate mem_max stick_epoch stall_shard slow_pid max_rounds json_file
+  else if impl_name = "durable" then
+    run_durable m r updaters updates scanners scans sched_name seed_base
+      seeds nemesis_name
+      (mem_kinds_of mem_faults_arg)
+      mem_rate mem_max power_loss_arg checkpoint_every wal_mode
+      expect_violations shrink replay_file json_file
   else run_flat impl_name shards m r updaters updates scanners scans
     sched_name seed_base seeds check crash_at nemesis_name mem_faults_arg
     mem_rate mem_max expect_violations shrink replay_file json_file
@@ -814,6 +1173,38 @@ let max_rounds =
           "($(b,--impl resilient) only) Scan round budget: a validated \
            cross-shard scan degrades explicitly after N rounds.")
 
+let power_loss_arg =
+  Arg.(
+    value & opt string "none"
+    & info [ "power-loss" ] ~docv:"MODE"
+        ~doc:
+          "($(b,--impl durable) only) Power-loss fault injection: \
+           $(b,none); a clock value (one blackout at that step: every \
+           device drops its un-synced write cache except a torn fragment, \
+           every process crashes and restarts on a recovery body); \
+           $(b,storm) (seeded random blackouts); $(b,sweep) (per seed, one \
+           baseline run plus one run with a blackout at every schedule \
+           point — the exhaustive recovery campaign).")
+
+let checkpoint_every =
+  Arg.(
+    value & opt int 0
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:
+          "($(b,--impl durable) only) Seal a checkpoint every N commits \
+           (0 = log-only, never checkpoint).")
+
+let wal_mode =
+  Arg.(
+    value & opt string "write-ahead"
+    & info [ "wal-mode" ] ~docv:"MODE"
+        ~doc:
+          "($(b,--impl durable) only) $(b,write-ahead) (sound: append + \
+           sync before the update is applied or acknowledged) or \
+           $(b,late-log) (deliberately unsound: apply first, log after — \
+           exists to show the power-loss campaign catches \
+           committed-then-lost bugs; pair with $(b,--expect-violations)).")
+
 let cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"drive partial snapshot workloads in the simulator")
@@ -822,6 +1213,6 @@ let cmd =
       $ scans $ sched $ seed_base $ seeds $ check $ crash_at $ nemesis
       $ mem_faults_arg $ mem_rate $ mem_max $ expect_violations $ shrink
       $ replay_file $ json_file $ stick_epoch $ stall_shard $ slow_pid
-      $ max_rounds)
+      $ max_rounds $ power_loss_arg $ checkpoint_every $ wal_mode)
 
 let () = exit (Cmd.eval' cmd)

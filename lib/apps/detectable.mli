@@ -1,0 +1,83 @@
+(** Detectable (exactly-once) updates over a partial snapshot object, for
+    the crash–restart fault model.
+
+    A process that crashes between invoking [update] and observing its
+    return cannot know whether the update took effect; the naive recovery
+    — re-invoke everything in the request log — can apply an update
+    {e twice}, which is observable (a scan sees the overwritten value
+    reappear) and non-linearizable.  The remedy (detectable objects à la
+    Friedman et al., and the crash-prone registers of
+    Imbs–Mostéfaoui–Perrin–Raynal, PAPERS.md) is a per-process claim
+    register written {e before} the underlying apply and a response
+    register written {e after} it: a new incarnation re-invokes only
+    requests above the claim ({!Make.resume}), and {!Make.status} pins
+    each claimed request to [`Completed] or the claim–apply window
+    ([`Maybe_lost]).  See [test_crash_restart.ml] for the checker-backed
+    demonstration. *)
+
+module Make (M : Psnap.Mem.S) (S : Psnap.Snapshot.S) : sig
+  type 'a t
+
+  type 'a handle
+
+  val name : string
+
+  val create : n:int -> 'a array -> 'a t
+
+  val handle : 'a t -> pid:int -> 'a handle
+
+  val resume : 'a handle -> int
+  (** Highest sequence number this pid ever claimed, [-1] if none: the
+      first thing a recovering incarnation reads.  Requests at or below it
+      must {e not} be re-invoked (their fate is sealed: applied, or lost
+      to a crash between claim and apply); requests above it must be. *)
+
+  val status :
+    'a handle -> seq:int -> [ `Completed | `Maybe_lost | `Never_claimed ]
+  (** What the response register proves about request [seq] after a
+      crash: [`Completed] — the apply finished (and will never be
+      re-applied); [`Maybe_lost] — claimed, but the crash hit the
+      claim–apply window, so re-applying would risk a double apply and is
+      not attempted; [`Never_claimed] — safe and necessary to
+      re-invoke. *)
+
+  val update : 'a handle -> seq:int -> int -> 'a -> [ `Applied | `Skipped ]
+  (** [update h ~seq i v] applies request [seq] at most once across all
+      incarnations of [h.pid].  Sequence numbers must be issued in
+      increasing order by the client (its request log position).  Returns
+      [`Applied] if this call performed the underlying update, [`Skipped]
+      if the request was already claimed by an earlier incarnation. *)
+
+  val scan : 'a handle -> int array -> 'a array
+
+  val last_scan_collects : 'a handle -> int
+end
+
+(** Sequential specification of the detectable partial snapshot over
+    integer values: updates keyed by [(pid, seq)], duplicates absorbed.
+    Because a duplicate is a no-op, a history in which a re-invoked update
+    {e observably} applies twice (some scan sees the overwritten value
+    reappear) is non-linearizable — the property the raw, non-detectable
+    recovery violates. *)
+module Spec : sig
+  type state = { vals : int array; applied : int array }
+  (** [applied.(pid)]: highest [seq] linearized for [pid] ([-1] none). *)
+
+  type op =
+    | Up of { pid : int; seq : int; i : int; v : int }
+    | Scan of int array
+
+  type res = Ack | Vals of int array
+
+  val init : n:int -> int array -> state
+
+  val apply : state -> op -> state * res
+
+  val equal_res : res -> res -> bool
+
+  val pp_op : Format.formatter -> op -> unit
+
+  val pp_res : Format.formatter -> res -> unit
+end
+
+module Checker : module type of Psnap.Lin_check.Make (Spec)

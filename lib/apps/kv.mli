@@ -1,0 +1,41 @@
+(** A small typed key-value facade over the partial snapshot object — the
+    downstream-user face of the library: named keys, single-key writes,
+    and atomic multi-key reads with a declared key set (the stock-database
+    shape of the paper's introduction: unpredictable queries over
+    overlapping subsets of a large table).
+
+    Keys are fixed at creation (the snapshot object has a fixed [m]); each
+    key maps to one component.  {!Make.get_many} is one partial scan: its
+    cost depends only on the number of keys asked for, not the table
+    size. *)
+
+module Make (S : Psnap.Snapshot.S) : sig
+  type ('k, 'v) t
+
+  type ('k, 'v) handle
+
+  val create : n:int -> ('k * 'v) list -> ('k, 'v) t
+  (** [create ~n bindings] — a store for the given keys and initial
+      values, shared by [n] processes.  Duplicate keys are rejected. *)
+
+  val handle : ('k, 'v) t -> pid:int -> ('k, 'v) handle
+
+  val set : ('k, 'v) handle -> 'k -> 'v -> unit
+  (** Write one key (one component update).  Unknown keys raise
+      [Invalid_argument]. *)
+
+  val get : ('k, 'v) handle -> 'k -> 'v
+  (** Atomic read of one key (a one-component partial scan). *)
+
+  val get_many : ('k, 'v) handle -> 'k list -> ('k * 'v) list
+  (** Atomic read of several keys at a single instant.  Duplicates
+      allowed; results align with the request. *)
+
+  val get_all : ('k, 'v) handle -> ('k * 'v) list
+  (** Atomic read of everything (a full snapshot). *)
+
+  val keys : ('k, 'v) t -> 'k list
+  (** The declared key set, in creation order. *)
+
+  val mem : ('k, 'v) t -> 'k -> bool
+end

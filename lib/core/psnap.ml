@@ -146,6 +146,17 @@ module Runtime = struct
   module Histogram = Psnap_runtime.Histogram
 end
 
+(** The durability layer (docs/MODEL.md §13): checksummed write-ahead
+    log + checkpoints over pluggable storage, power-loss fault injection,
+    verified recovery. *)
+module Persist = struct
+  module Storage = Psnap_persist.Storage
+  module Wal = Psnap_persist.Wal
+  module Checkpoint = Psnap_persist.Checkpoint
+  module Recovery = Psnap_persist.Recovery
+  module Durable = Psnap_persist.Durable
+end
+
 (* ---- Pre-applied instances: simulator backend ---- *)
 
 module Sim_aset_fai = Psnap_activeset.Fai_cas.Make (Mem.Sim)
@@ -241,6 +252,13 @@ module Sim_resilient_fig3 =
       let heal_quiesce = 64
     end)
 
+(** Figure 3 made failure-atomically durable under the simulator: a
+    write-ahead log + checkpoints on the fault-injectable simulated
+    device (docs/MODEL.md §13). *)
+module Sim_durable_fig3 =
+  Psnap_persist.Durable.Make (Mem.Sim) (Sim_fig3)
+    (Psnap_persist.Storage.Sim)
+
 (* ---- Pre-applied instances: multicore (Atomic) backend ---- *)
 
 module Mc_aset_fai = Psnap_activeset.Fai_cas.Make (Mem.Atomic)
@@ -273,3 +291,9 @@ module Mc_sharded_fig3 =
       let partition = `Round_robin
       let mode = `Validated
     end)
+
+(** Figure 3 made durable on real atomics, logging through the
+    mutex-guarded multicore device — what the loadgen's [--impl durable]
+    drives to price durability in the latency histograms. *)
+module Mc_durable_fig3 =
+  Psnap_persist.Durable.Make (Mem.Atomic) (Mc_fig3) (Psnap_persist.Storage.Mc)

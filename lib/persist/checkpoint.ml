@@ -1,0 +1,31 @@
+(* The FAMS-style checkpoint engine (docs/MODEL.md §13).
+
+   A checkpoint batches everything committed so far into one sealed,
+   atomically-recoverable unit: holding the commit lock (so no update can
+   be mid-apply and the lsn horizon is frozen), the committer captures a
+   consistent full view with a regular [scan] — the same seal → quiesce →
+   final sub-scan shape as the resilient layer's shard heal, with the
+   quiescence provided by the lock instead of inflight tokens — and writes
+   a [Checkpoint_begin gen; Scan_seal gen; Checkpoint_end gen] triple,
+   then a sync.  Recovery only ever trusts a complete triple, so a
+   power loss anywhere inside the window leaves the previous checkpoint
+   authoritative and the new one invisible (begin-without-end).
+
+   A power loss between the first append and the sync can silently eat
+   part of the triple from the device's write cache; the barrier would
+   then cover a hole.  [write] detects this with the device's loss
+   counter and rewrites the whole triple — duplicate complete triples are
+   harmless (recovery takes the last). *)
+
+module Make (St : Storage.S) = struct
+  module W = Wal.Make (St)
+
+  let rec write dev ~gen ~next_lsn ~payload =
+    let l0 = St.losses dev in
+    W.append dev (Wal.Checkpoint_begin { gen; next_lsn });
+    W.append dev (Wal.Scan_seal { gen; payload });
+    W.append dev (Wal.Checkpoint_end { gen });
+    St.sync dev;
+    if St.losses dev <> l0 then write dev ~gen ~next_lsn ~payload
+    else Psnap_sched.Metrics.note_checkpoint ()
+end

@@ -1,0 +1,68 @@
+(** Failure-atomic durable snapshots (docs/MODEL.md §13).
+
+    [Make (M) (Inner) (St)] wraps any snapshot implementation with a
+    checksummed write-ahead log + checkpoint layer on a storage device:
+    every {e acknowledged} update survives a power loss, and {!Make.recover}
+    rebuilds a state the linearizability oracle accepts (durable
+    linearizability: completed operations persist; an operation in flight
+    at the loss linearizes at most once).
+
+    Commits are serialized through a single {e commit lock} carrying a
+    published intent — acquire, append, sync, apply, release — so log
+    order equals apply order by construction and nothing reaches [Inner]
+    before it is durable; scans never touch the lock and keep [Inner]'s
+    wait-freedom.  Updates are blocking (a log latch): a crashed lock
+    holder blocks writers until its next incarnation completes the
+    published intent via {!Make.resume}.  There is deliberately no helping:
+    a helper racing a later same-component commit could clobber the newer
+    value.
+
+    Values are serialized with [Marshal]; components must be marshallable
+    (no closures, no custom blocks without serializers). *)
+
+module Make
+    (M : Psnap_mem.Mem_intf.S)
+    (Inner : Psnap_snapshot.Snapshot_intf.S)
+    (St : Storage.S) : sig
+  include Psnap_snapshot.Snapshot_intf.S
+
+  type config = {
+    checkpoint_every : int;
+        (** write a sealed checkpoint every this many commits; 0 = never *)
+    write_ahead : bool;
+        (** [false] flips to a deliberately unsound late-log order (apply
+            before append + sync): a scan can observe a value whose record
+            is still volatile, which a power loss turns into a
+            committed-then-lost violation.  Exists to prove the harness
+            catches recovery bugs — see the E18 witness schedule. *)
+  }
+
+  val default_config : config
+  (** [{ checkpoint_every = 0; write_ahead = true }] *)
+
+  val create_with :
+    ?config:config -> ?storage:St.t -> n:int -> 'a array -> 'a t
+  (** [create] with an explicit configuration and/or device ([create]
+      itself uses [default_config] and a fresh device named ["wal"]). *)
+
+  val recover : ?config:config -> St.t -> n:int -> 'a array -> 'a t
+  (** Rebuild from a device: repair the damaged tail, land on the last
+      sealed checkpoint plus the replayed update suffix, restart lsns
+      above everything the log mentions.  Step-free under the simulator
+      (log reads and [Inner.create] cost no steps), so the first fiber to
+      recover after a blackout completes the rebuild atomically. *)
+
+  val resume : 'a handle -> unit
+  (** Complete this pid's published intent, if the commit lock holds one
+      from a crashed incarnation.  Recovery bodies call this before
+      resuming work after a plain crash–restart; after a power loss there
+      is nothing to resume (the lock died with the volatile memory). *)
+
+  val checkpoint_now : 'a handle -> unit
+  (** Force a sealed checkpoint, serialized through the commit lock. *)
+
+  val storage : 'a t -> St.t
+
+  val generation : 'a t -> int
+  (** Checkpoint generations sealed so far (recovered ones included). *)
+end

@@ -1,0 +1,81 @@
+(** Pluggable durable storage for the write-ahead log (docs/MODEL.md §13).
+
+    A device is an append-only byte log with an explicit durability
+    barrier: [append] buffers bytes at the tail, [sync] guarantees that
+    everything appended so far survives a power loss.  Bytes appended
+    since the last [sync] live in the device's volatile write cache and
+    are dropped — except for a deterministic torn prefix — when the
+    simulator injects a {!Psnap_sched.Scheduler.Power_loss} decision.
+
+    Two backends, mirroring [lib/mem]'s pairing: {!Sim} charges one
+    simulated step per [append]/[sync] and registers with the simulator's
+    power-loss dispatcher; {!Mc} is a mutex-guarded in-memory device for
+    the multi-domain loadgen, where the serialization and locking cost of
+    the log is the durability overhead being measured. *)
+
+module type S = sig
+  type t
+
+  val create : name:string -> t
+  (** A fresh, empty device.  [name] labels its steps in simulator
+      traces. *)
+
+  val name : t -> string
+
+  val append : t -> string -> unit
+  (** Buffer bytes at the tail of the log (volatile until [sync]). *)
+
+  val sync : t -> unit
+  (** Durability barrier: everything appended before this call survives
+      any later power loss. *)
+
+  val size : t -> int
+  (** Bytes in the log, buffered writes included. *)
+
+  val synced_size : t -> int
+  (** Bytes guaranteed durable (covered by a completed [sync]). *)
+
+  val read : t -> string
+  (** The full current contents, buffered writes included. *)
+
+  val durable_read : t -> string
+  (** The prefix guaranteed to survive a power loss right now. *)
+
+  val truncate : t -> int -> unit
+  (** [truncate t n] discards every byte at offset [n] and beyond, and
+      marks the surviving prefix durable.  Recovery-time repair only: it
+      models the failure-atomic tail repair a recovery pass performs
+      while the system is down, so it costs no step (see
+      docs/MODEL.md §13 on the atomic-recovery modeling choice). *)
+
+  val losses : t -> int
+  (** Power losses this device has lived through — the signal a harness
+      polls to learn that the in-memory state it pairs with this log died
+      and must be rebuilt by recovery. *)
+end
+
+(** The simulated device.  Each [append]/[sync] is one scheduled step on a
+    per-device pseudo-cell, so the adversary can interleave — or cut power
+    — between a record landing in the write cache and the barrier that
+    would have made it durable.  Reads and truncation cost nothing: they
+    model recovery-time work, which happens while the machine is down and
+    outside the adversary's schedule. *)
+module Sim : sig
+  include S
+
+  val reset : unit -> unit
+  (** Forget every device created so far (the power-loss dispatcher stops
+      touching them).  Harnesses call this between runs, exactly like
+      [Mem_sim]'s per-run resets, so replay is a function of the
+      workload. *)
+
+  val set_torn_policy : (unsynced:int -> int) -> unit
+  (** How many of the un-synced bytes survive a power loss as a torn tail
+      (default: half, rounded down — enough to leave a torn record for
+      recovery to repair).  Must be deterministic: replay depends on it. *)
+
+  val losses_total : unit -> int
+  (** Power-loss decisions dispatched since the last {!reset}. *)
+end
+
+module Mc : S

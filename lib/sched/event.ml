@@ -24,6 +24,11 @@ type t =
           from 2 (the initial body is incarnation 1) *)
   | Mem_fault of { kind : fault_kind; oid : int; clock : int }
       (** a memory fault was injected into cell [oid] *)
+  | Power_loss of { clock : int }
+      (** every durable-storage device lost the writes buffered since its
+          last [sync] (docs/MODEL.md §13); processes are unaffected — a
+          nemesis composes the power {e cycle} out of this decision plus
+          ordinary crashes and restarts *)
 
 let pp_mem_op ppf = function
   | Read -> Fmt.string ppf "read"
@@ -57,3 +62,4 @@ let pp ppf = function
     Fmt.pf ppf "%6d p%d RESTART (incarnation %d)" clock pid incarnation
   | Mem_fault { kind; oid; clock } ->
     Fmt.pf ppf "%6d MEM-FAULT %a cell#%d" clock pp_fault_kind kind oid
+  | Power_loss { clock } -> Fmt.pf ppf "%6d POWER-LOSS" clock

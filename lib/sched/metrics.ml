@@ -199,6 +199,107 @@ let pp_serving ppf s =
     s.breaker_opens s.breaker_half_opens s.breaker_closes s.heals_started
     s.heals_completed s.heals_aborted s.stuck_epochs
 
+(** {2 Durability counters} *)
+
+(* Global counters bumped by the Psnap_persist layer (WAL appends,
+   checkpoints, recoveries).  Same discipline as the serving counters:
+   plain references — exact under the cooperative simulator, approximate
+   under the multi-domain loadgen, observability only. *)
+
+let d_wal_appends = ref 0
+
+let d_wal_syncs = ref 0
+
+let d_wal_bytes = ref 0
+
+let d_commits = ref 0
+
+let d_checkpoints = ref 0
+
+let d_recoveries = ref 0
+
+let d_replayed_updates = ref 0
+
+let d_truncated_bytes = ref 0
+
+let d_torn_records = ref 0
+
+let d_corrupt_records = ref 0
+
+let d_power_losses = ref 0
+
+type durable = {
+  wal_appends : int;
+  wal_syncs : int;
+  wal_bytes : int;
+  commits : int;
+  checkpoints : int;
+  recoveries : int;
+  replayed_updates : int;
+  truncated_bytes : int;
+  torn_records : int;
+  corrupt_records : int;
+  power_losses : int;
+}
+
+let durable () =
+  {
+    wal_appends = !d_wal_appends;
+    wal_syncs = !d_wal_syncs;
+    wal_bytes = !d_wal_bytes;
+    commits = !d_commits;
+    checkpoints = !d_checkpoints;
+    recoveries = !d_recoveries;
+    replayed_updates = !d_replayed_updates;
+    truncated_bytes = !d_truncated_bytes;
+    torn_records = !d_torn_records;
+    corrupt_records = !d_corrupt_records;
+    power_losses = !d_power_losses;
+  }
+
+let reset_durable () =
+  d_wal_appends := 0;
+  d_wal_syncs := 0;
+  d_wal_bytes := 0;
+  d_commits := 0;
+  d_checkpoints := 0;
+  d_recoveries := 0;
+  d_replayed_updates := 0;
+  d_truncated_bytes := 0;
+  d_torn_records := 0;
+  d_corrupt_records := 0;
+  d_power_losses := 0
+
+let note_wal_append bytes =
+  incr d_wal_appends;
+  d_wal_bytes := !d_wal_bytes + bytes
+
+let note_wal_sync () = incr d_wal_syncs
+
+let note_commit () = incr d_commits
+
+let note_checkpoint () = incr d_checkpoints
+
+let note_recovery ~replayed =
+  incr d_recoveries;
+  d_replayed_updates := !d_replayed_updates + replayed
+
+let note_truncation ~bytes ~torn ~corrupt =
+  d_truncated_bytes := !d_truncated_bytes + bytes;
+  if torn then incr d_torn_records;
+  if corrupt then incr d_corrupt_records
+
+let note_power_loss () = incr d_power_losses
+
+let pp_durable ppf d =
+  Format.fprintf ppf
+    "durable: appends=%d syncs=%d bytes=%d commits=%d checkpoints=%d \
+     recoveries=%d replayed=%d truncated=%dB torn=%d corrupt=%d \
+     power-losses=%d"
+    d.wal_appends d.wal_syncs d.wal_bytes d.commits d.checkpoints
+    d.recoveries d.replayed_updates d.truncated_bytes d.torn_records
+    d.corrupt_records d.power_losses
+
 (** {2 Memory faults} *)
 
 type fault_line = {

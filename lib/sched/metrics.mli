@@ -112,6 +112,52 @@ val note_stuck_epoch : unit -> unit
 
 val pp_serving : Format.formatter -> serving -> unit
 
+(** {2 Durability counters}
+
+    Global counters bumped by the [Psnap_persist] layer (docs/MODEL.md
+    §13): WAL traffic, commits and checkpoints, recoveries with their
+    replay volume, the bytes and records discarded while repairing a log
+    tail, and power losses observed by the storage backend.  Same
+    discipline as the serving counters: plain references — exact under the
+    cooperative simulator, approximate under the multi-domain loadgen. *)
+
+type durable = {
+  wal_appends : int;  (** records appended to a WAL *)
+  wal_syncs : int;  (** storage [sync] barriers issued *)
+  wal_bytes : int;  (** total bytes appended *)
+  commits : int;  (** durable updates acknowledged *)
+  checkpoints : int;  (** sealed checkpoint triples written *)
+  recoveries : int;  (** recovery passes executed *)
+  replayed_updates : int;  (** update records re-applied by recoveries *)
+  truncated_bytes : int;  (** log-tail bytes discarded by recoveries *)
+  torn_records : int;  (** recoveries that discarded a torn tail record *)
+  corrupt_records : int;  (** recoveries that hit a checksum mismatch *)
+  power_losses : int;  (** power losses observed by storage devices *)
+}
+
+val durable : unit -> durable
+
+val reset_durable : unit -> unit
+
+(** Bump API used by [Psnap_persist]. *)
+
+val note_wal_append : int -> unit
+(** [note_wal_append bytes] — one record of [bytes] bytes appended. *)
+
+val note_wal_sync : unit -> unit
+
+val note_commit : unit -> unit
+
+val note_checkpoint : unit -> unit
+
+val note_recovery : replayed:int -> unit
+
+val note_truncation : bytes:int -> torn:bool -> corrupt:bool -> unit
+
+val note_power_loss : unit -> unit
+
+val pp_durable : Format.formatter -> durable -> unit
+
 (** {2 Memory faults}
 
     Per-kind injection counters from the simulated memory

@@ -48,6 +48,13 @@ type decision =
   | Mem_fault of { kind : Event.fault_kind; oid : int }
       (** inject a memory fault into cell [oid] (docs/MODEL.md §9); charged
           to the fault budget like {!Crash}/{!Restart} *)
+  | Power_loss
+      (** whole-machine blackout (docs/MODEL.md §13): every
+          durable-storage device drops the writes buffered since its last
+          [sync] barrier {e and} every runnable process halts, as one
+          decision — so no shrunk schedule can leave a survivor computing
+          against pre-loss volatile state.  Reboot is ordinary [Restart]
+          decisions; charged to the fault budget like {!Crash} *)
   | Stop  (** abandon the run (explorer ran out of forced choices) *)
 
 type t = { name : string; pick : view -> decision }
@@ -68,6 +75,7 @@ let decision_to_string = function
   | Restart pid -> Printf.sprintf "restart %d" pid
   | Mem_fault { kind; oid } ->
     Printf.sprintf "%s %d" (Event.fault_kind_to_string kind) oid
+  | Power_loss -> "powerloss"
   | Stop -> "stop"
 
 let decision_of_string s =
@@ -75,6 +83,7 @@ let decision_of_string s =
   | [ "run"; p ] -> Run (int_of_string p)
   | [ "crash"; p ] -> Crash (int_of_string p)
   | [ "restart"; p ] -> Restart (int_of_string p)
+  | [ "powerloss" ] -> Power_loss
   | [ "stop" ] -> Stop
   | [ verb; oid ] when Event.fault_kind_of_string verb <> None ->
     Mem_fault
@@ -188,6 +197,8 @@ let replay_decisions ?(lenient = false) ?fallback decisions =
         (* A fault targeting a cell the current execution never allocates is
            absorbed by the simulator, so the decision is always playable. *)
         | Mem_fault _ -> true
+        (* Power loss hits whatever storage devices exist; always playable. *)
+        | Power_loss -> true
         | Stop -> true
       in
       if applicable then (
@@ -655,3 +666,60 @@ let corrupt_on_op ~pid ~op ?(nth = 1) inner =
     else inner.pick v
   in
   { name = inner.name ^ "+corrupt-on-op"; pick }
+
+(* ---- power-loss nemeses (docs/MODEL.md §13) ---- *)
+
+(* A power cycle is [Power_loss] (storage devices drop their un-synced
+   writes, every runnable process halts — one atomic blackout decision),
+   then a [Restart] per crashed process (reboot on the recovery function).
+   While everything is down the clock is frozen, so the reboot is issued
+   immediately — a blackout has no survivors to wait on.  Composed over a
+   run without a recovery function, [view.crashed] stays empty and the
+   blackout degrades to a permanent whole-system halt, per the nemesis
+   convention. *)
+
+(** One deterministic power loss: once the clock reaches [at_clock], cut
+    power (drop all un-synced storage writes, halt every runnable
+    process), then reboot every crashed process on its recovery
+    function. *)
+let power_loss_at ~at_clock inner =
+  let state = ref `Armed in
+  let pick v =
+    match !state with
+    | `Armed when v.clock >= at_clock ->
+      state := `Reboot;
+      Power_loss
+    | `Reboot when Array.length v.crashed > 0 -> Restart v.crashed.(0)
+    | `Reboot ->
+      state := `Done;
+      inner.pick v
+    | `Armed | `Done -> inner.pick v
+  in
+  { name = Printf.sprintf "%s+power-loss@%d" inner.name at_clock; pick }
+
+(** Seeded power-loss storm: at every decision point, with probability
+    [rate], run a full power cycle (at most [max_losses] per run).  All
+    randomness derives from [seed]; the schedule replays exactly. *)
+let power_storm ~seed ?(rate = 0.005) ?(max_losses = 2) inner =
+  let st = Random.State.make [| seed; 0x90EB |] in
+  let losses = ref 0 in
+  let state = ref `Idle in
+  let pick v =
+    match !state with
+    | `Reboot when Array.length v.crashed > 0 -> Restart v.crashed.(0)
+    | `Reboot ->
+      state := `Idle;
+      inner.pick v
+    | `Idle ->
+      if
+        !losses < max_losses
+        && Array.length v.runnable > 0
+        && Random.State.float st 1.0 < rate
+      then begin
+        incr losses;
+        state := `Reboot;
+        Power_loss
+      end
+      else inner.pick v
+  in
+  { name = Printf.sprintf "power-storm(%d)+%s" seed inner.name; pick }

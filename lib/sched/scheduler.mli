@@ -41,6 +41,14 @@ type decision =
   | Mem_fault of { kind : Event.fault_kind; oid : int }
       (** inject a memory fault into cell [oid] (docs/MODEL.md §9); charged
           to the fault budget like {!Crash}/{!Restart} *)
+  | Power_loss
+      (** whole-machine blackout (docs/MODEL.md §13): every
+          durable-storage device drops the writes buffered since its last
+          [sync] barrier {e and} every runnable process halts, as one
+          decision — the machine loses power as a whole, so no schedule,
+          however shrunk, can leave a survivor computing against pre-loss
+          volatile state.  Reboot is ordinary [Restart] decisions; charged
+          to the fault budget like {!Crash} *)
   | Stop  (** abandon the run *)
 
 type t = { name : string; pick : view -> decision }
@@ -59,7 +67,7 @@ val is_restartable : view -> int -> bool
 (** {2 Decision serialization} — schedule files and shrink reports use the
     textual form ["run 3"], ["crash 0"], ["restart 0"], ["stop"], plus the
     memory-fault verbs ["lose 5"], ["stale 5"], ["corrupt 5"], ["stick 5"]
-    (verb + cell oid), one decision per line. *)
+    (verb + cell oid) and ["powerloss"], one decision per line. *)
 
 val decision_to_string : decision -> string
 
@@ -178,6 +186,25 @@ val mem_storm :
     e.g. [~op:Event.Cas] garbles the cell inside the process's read-to-CAS
     window.  One shot. *)
 val corrupt_on_op : pid:int -> op:Event.mem_op -> ?nth:int -> t -> t
+
+(** {2 Power-loss nemeses} — whole-machine blackouts against durable
+    storage (docs/MODEL.md §13).  A power cycle is {!Power_loss} (one
+    atomic decision: storage drops all writes buffered since the last
+    [sync] and every runnable process halts) followed by an ordinary
+    {!Restart} per crashed process — so the whole cycle replays and
+    ddmin-shrinks with the existing machinery.  Over a run without a
+    recovery function the blackout degrades to a permanent whole-system
+    halt. *)
+
+(** One deterministic power loss once the clock reaches [at_clock]:
+    un-synced storage writes are dropped and every runnable process halts,
+    then every crashed process reboots on its recovery function. *)
+val power_loss_at : at_clock:int -> t -> t
+
+(** Seeded power-loss storm: a full power cycle with probability [rate]
+    (default 0.005) at every decision point, at most [max_losses] (default
+    2) per run. *)
+val power_storm : seed:int -> ?rate:float -> ?max_losses:int -> t -> t
 
 (** Targeted memory fault by cell {e name}: once the clock reaches
     [at_clock] (default 0), inject [kind] into the first cell some

@@ -139,6 +139,14 @@ let mem_fault_dispatcher : (Event.fault_kind -> int -> bool) option ref =
 
 let set_mem_fault_dispatcher f = mem_fault_dispatcher := Some f
 
+(* Power losses are applied by the storage backend, which owns the device
+   buffers; [Psnap_persist.Storage] installs its dispatcher at module
+   initialization.  Returns the number of devices that dropped un-synced
+   bytes. *)
+let power_loss_dispatcher : (unit -> int) option ref = ref None
+
+let set_power_loss_dispatcher f = power_loss_dispatcher := Some f
+
 (* Performed by Mem_sim before executing a shared access.  The access itself
    is the code that runs after [continue]: suspension point first, operation
    on resumption. *)
@@ -305,6 +313,31 @@ let run ?(record_trace = false) ?(max_steps = 50_000_000) ?recover ~sched
           if t.record_trace then
             t.trace <-
               Event.Mem_fault { kind; oid; clock = t.clock } :: t.trace;
+          loop ()
+        | Scheduler.Power_loss ->
+          (* Like a memory fault: advances the fault counter, not the
+             clock.  Absorbed (still recorded) when no storage backend is
+             linked — a blackout against a purely volatile system.  The
+             machine loses power as a whole: every runnable process halts
+             as part of the same decision (no separate Crash events — the
+             blackout implies them), so no schedule, however shrunk, can
+             leave a survivor computing against pre-loss volatile state
+             while another process rebuilds from the log. *)
+          t.faults <- t.faults + 1;
+          if t.faults > t.max_steps then raise (Out_of_steps t.clock);
+          (match !power_loss_dispatcher with
+          | Some apply -> ignore (apply ())
+          | None -> ());
+          Array.iteri
+            (fun pid p ->
+              match p.state with
+              | Pending _ ->
+                p.state <- Crashed;
+                crashed := pid :: !crashed
+              | _ -> ())
+            t.procs;
+          if t.record_trace then
+            t.trace <- Event.Power_loss { clock = t.clock } :: t.trace;
           loop ()
         | Scheduler.Restart pid ->
           let p = t.procs.(pid) in

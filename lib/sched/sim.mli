@@ -120,6 +120,20 @@ val reset_prerun_oids : unit -> unit
 
 val set_mem_fault_dispatcher : (Event.fault_kind -> int -> bool) -> unit
 
+(** {2 Power-loss dispatch}
+
+    Power losses ({!Scheduler.Power_loss}) are applied by the durable
+    storage backend, which owns the device buffers;
+    [Psnap_persist.Storage] installs its dispatcher here at
+    initialization.  The dispatcher drops every device's writes buffered
+    since its last [sync] and returns the number of devices affected; the
+    simulator then halts every runnable process as part of the same
+    decision — the machine loses power as a whole.  A power loss with no
+    dispatcher installed still halts the processes but touches no storage:
+    a blackout against a purely volatile system. *)
+
+val set_power_loss_dispatcher : (unit -> int) -> unit
+
 (** Globally unique id of the currently executing run, or [None] outside
     any run.  Serials are never reused, so {!Mem_sim}'s strict mode can
     tell a cell born in an earlier run from one of the current run.

@@ -14,7 +14,7 @@ let steps (trace : Event.t list) =
   List.filter_map
     (function
       | Event.Step _ as e -> Some e
-      | Event.Crash _ | Event.Restart _ | Event.Mem_fault _ -> None)
+      | Event.Crash _ | Event.Restart _ | Event.Mem_fault _ | Event.Power_loss _ -> None)
     trace
 
 let bump key m = Int_map.update key (fun n -> Some (1 + Option.value ~default:0 n)) m
@@ -23,7 +23,7 @@ let steps_by_pid trace =
   List.fold_left
     (fun m -> function
       | Event.Step { pid; _ } -> bump pid m
-      | Event.Crash _ | Event.Restart _ | Event.Mem_fault _ -> m)
+      | Event.Crash _ | Event.Restart _ | Event.Mem_fault _ | Event.Power_loss _ -> m)
     Int_map.empty trace
   |> Int_map.bindings
 
@@ -34,7 +34,7 @@ let steps_by_object trace =
         Obj_map.update (oid, obj_name)
           (fun n -> Some (1 + Option.value ~default:0 n))
           m
-      | Event.Crash _ | Event.Restart _ | Event.Mem_fault _ -> m)
+      | Event.Crash _ | Event.Restart _ | Event.Mem_fault _ | Event.Power_loss _ -> m)
     Obj_map.empty trace
   |> Obj_map.bindings
   |> List.map (fun ((oid, name), n) -> (oid, name, n))
@@ -48,7 +48,7 @@ let context_switches trace =
     | [] -> n
     | Event.Step { pid; _ } :: rest ->
       go (Some pid) (match last with Some p when p <> pid -> n + 1 | _ -> n) rest
-    | (Event.Crash _ | Event.Restart _ | Event.Mem_fault _) :: rest ->
+    | (Event.Crash _ | Event.Restart _ | Event.Mem_fault _ | Event.Power_loss _) :: rest ->
       go last n rest
   in
   go None 0 trace
@@ -57,22 +57,28 @@ let crashes trace =
   List.filter_map
     (function
       | Event.Crash { pid; _ } -> Some pid
-      | Event.Step _ | Event.Restart _ | Event.Mem_fault _ -> None)
+      | Event.Step _ | Event.Restart _ | Event.Mem_fault _ | Event.Power_loss _ -> None)
     trace
 
 let restarts trace =
   List.filter_map
     (function
       | Event.Restart { pid; _ } -> Some pid
-      | Event.Step _ | Event.Crash _ | Event.Mem_fault _ -> None)
+      | Event.Step _ | Event.Crash _ | Event.Mem_fault _ | Event.Power_loss _ -> None)
     trace
 
 let mem_faults trace =
   List.filter_map
     (function
       | Event.Mem_fault { kind; oid; _ } -> Some (kind, oid)
-      | Event.Step _ | Event.Crash _ | Event.Restart _ -> None)
+      | Event.Step _ | Event.Crash _ | Event.Restart _ | Event.Power_loss _ ->
+        None)
     trace
+
+let power_losses trace =
+  List.fold_left
+    (fun n -> function Event.Power_loss _ -> n + 1 | _ -> n)
+    0 trace
 
 (* The slice of a recorded execution spanning a race's two program points
    (the step clocks in a [Race.report]), faults included: replaying the
@@ -83,7 +89,8 @@ let race_window ~from_clock ~until_clock trace =
     | Event.Step { clock; _ }
     | Event.Crash { clock; _ }
     | Event.Restart { clock; _ }
-    | Event.Mem_fault { clock; _ } ->
+    | Event.Mem_fault { clock; _ }
+    | Event.Power_loss { clock } ->
       clock
   in
   List.filter
@@ -98,7 +105,8 @@ let schedule trace =
       | Event.Step { pid; _ } -> Scheduler.Run pid
       | Event.Crash { pid; _ } -> Scheduler.Crash pid
       | Event.Restart { pid; _ } -> Scheduler.Restart pid
-      | Event.Mem_fault { kind; oid; _ } -> Scheduler.Mem_fault { kind; oid })
+      | Event.Mem_fault { kind; oid; _ } -> Scheduler.Mem_fault { kind; oid }
+      | Event.Power_loss _ -> Scheduler.Power_loss)
     trace
 
 let pp ppf trace = List.iter (Fmt.pf ppf "%a@." Event.pp) trace

@@ -29,6 +29,9 @@ val restarts : Event.t list -> int list
 (** Memory-fault events as [(kind, oid)], in execution order. *)
 val mem_faults : Event.t list -> (Event.fault_kind * int) list
 
+(** Number of power-loss events in the trace. *)
+val power_losses : Event.t list -> int
+
 (** [race_window ~from_clock ~until_clock trace] — the events (faults
     included) whose clock lies in [[from_clock, until_clock]]: with the
     clocks of a {!Race.report}'s two accesses, the slice of the execution
@@ -37,7 +40,7 @@ val race_window :
   from_clock:int -> until_clock:int -> Event.t list -> Event.t list
 
 (** The scheduler decision sequence that reproduces the trace: one
-    [Run]/[Crash]/[Restart]/[Mem_fault] per event.  Feeding it to
+    [Run]/[Crash]/[Restart]/[Mem_fault]/[Power_loss] per event.  Feeding it to
     [Scheduler.replay_decisions] replays the execution exactly; it is also
     the input format of the {!Shrink} minimizer. *)
 val schedule : Event.t list -> Scheduler.decision list
