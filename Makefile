@@ -8,7 +8,8 @@ test:
 
 # Static analysis (docs/MODEL.md, "Memory discipline" and §12): the
 # memory-discipline rules R1–R3 over the algorithm libraries plus the
-# domain-sharing rules R4–R6 over lib/runtime and lib/mem.  Fails on any
+# domain-sharing rules R4–R6 over the runtime layers (lib/runtime, lib/mem,
+# lib/persist, lib/net).  Fails on any
 # non-waived finding; the fixture check confirms the rules still fire on
 # the intentionally racy files under test/fixtures.
 lint:
@@ -152,6 +153,31 @@ chaos-durable:
 	  --mix 1u+1s --scan window --duration 500ms --warmup 0.1s --seed 42 \
 	  --json $(ARTIFACTS)/loadgen-durable.json
 
+# Message-passing campaign (E19, docs/MODEL.md §14): Figure 3 over ABD
+# quorum registers under the network nemeses — partition storms, duplicate
+# floods, lag spikes — with the observation checker on, plus a loadgen
+# smoke of the replicated service (replica domains over the mutex-guarded
+# transport).  The weak-read witness is committed in schedules/ and
+# replayed by dune runtest.  CHAOS_NET_SEED lets CI sweep seeds.
+CHAOS_NET_SEED ?= 0
+chaos-net:
+	dune build bin/simulate.exe bin/loadgen.exe
+	mkdir -p $(ARTIFACTS)
+	dune exec bin/simulate.exe -- --impl fig3 --mem net --replicas 3 \
+	  --net-nemesis partition_storm --seed $(CHAOS_NET_SEED) --seeds 3 \
+	  --check --json $(ARTIFACTS)/chaos-net-partition-$(CHAOS_NET_SEED).json
+	dune exec bin/simulate.exe -- --impl fig3 --mem net --replicas 3 \
+	  --net-nemesis dup_flood --net-rate 0.1 --seed $(CHAOS_NET_SEED) \
+	  --seeds 3 --check \
+	  --json $(ARTIFACTS)/chaos-net-dup-$(CHAOS_NET_SEED).json
+	dune exec bin/simulate.exe -- --impl fig3 --mem net --replicas 3 \
+	  --net-nemesis lag_spike --net-rate 0.1 --seed $(CHAOS_NET_SEED) \
+	  --seeds 3 --check \
+	  --json $(ARTIFACTS)/chaos-net-lag-$(CHAOS_NET_SEED).json
+	dune exec bin/loadgen.exe -- --impl fig3 --mem net --replicas 3 \
+	  -m 64 -r 8 --domains 2 --mix 1u+1s --scan window --duration 500ms \
+	  --warmup 0.1s --seed 42 --json $(ARTIFACTS)/loadgen-net.json
+
 # The artifacts referenced by EXPERIMENTS.md.
 pin-outputs:
 	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
@@ -161,4 +187,4 @@ clean:
 	dune clean
 	rm -rf $(ARTIFACTS)
 
-.PHONY: all test lint race bench chaos chaos-mem chaos-runtime chaos-durable loadgen-smoke examples pin-outputs clean
+.PHONY: all test lint race bench chaos chaos-mem chaos-runtime chaos-durable chaos-net loadgen-smoke examples pin-outputs clean

@@ -130,8 +130,9 @@ let write_json path fields =
         fields;
       output_string oc "}\n")
 
-let run impl_name shards partition_name m r domains dist_name theta mix_s
-    rate scan_name duration warmup seed open_shard json_file =
+let run impl_name mem_backend replicas shards partition_name m r domains
+    dist_name theta mix_s rate scan_name duration warmup seed open_shard
+    json_file =
   let partition =
     match partition_name with
     | "rr" | "round-robin" -> `Round_robin
@@ -175,11 +176,41 @@ let run impl_name shards partition_name m r domains dist_name theta mix_s
       seed;
     }
   in
-  let (module S : Snapshot.S) =
-    impl_of ~shards ~partition ~open_shard impl_name
+  let (module S : Snapshot.S), teardown =
+    match mem_backend with
+    | "raw" -> (impl_of ~shards ~partition ~open_shard impl_name, fun () -> ())
+    | "net" ->
+      (* replicated backend: the same Figure 3 code, but every register is
+         an ABD quorum register served by [replicas] replica domains over
+         the mutex-guarded message transport.  Throughput against
+         --mem raw prices the quorum rounds (BENCH_runtime.json). *)
+      if impl_name <> "fig3" then begin
+        Printf.eprintf
+          "--mem net supports --impl fig3 only (the replicated service)\n";
+        exit 2
+      end;
+      let cluster =
+        (* + 1 head-room: the spawning domain never operates, but must not
+           steal a client node id if an implementation ever reads during
+           create *)
+        Psnap.Net.Abd.mc_cluster ~clients:(domains + 1) ~replicas ()
+      in
+      let rdomains =
+        List.init replicas (fun i ->
+            Domain.spawn (Psnap.Net.Abd.mc_replica_body cluster ~index:i))
+      in
+      ( (module Mc_net_fig3 : Snapshot.S),
+        fun () ->
+          Psnap.Net.Abd.mc_stop cluster;
+          List.iter Domain.join rdomains )
+    | s ->
+      Printf.eprintf "unknown backend %S (choose from: raw, net)\n" s;
+      exit 2
   in
   Metrics.reset_serving ();
+  Metrics.reset_net ();
   let rep = Loadgen.run (module S) cfg in
+  teardown ();
   (* serving-layer counters (sharded validation rounds, resilient breaker
      activity and degraded scans); plain refs bumped from many domains, so
      totals are approximate under contention — like the hardened stats *)
@@ -216,6 +247,17 @@ let run impl_name shards partition_name m r domains dist_name theta mix_s
          lat_row "update" rep.Loadgen.update_lat;
          lat_row "scan" rep.Loadgen.scan_lat;
        ]);
+  let nv = Metrics.net () in
+  if nv.Metrics.quorum_ops > 0 then
+    Printf.printf
+      "net: %d replicas, %d sends / %d delivers, %d quorum rounds (%.2f \
+       rounds/op, %d resends), writebacks %d (+%d skipped), mean quorum \
+       wait %.1f polls, %d unavailable\n"
+      replicas nv.Metrics.sends nv.Metrics.delivers nv.Metrics.rounds
+      (float_of_int nv.Metrics.rounds /. float_of_int nv.Metrics.quorum_ops)
+      nv.Metrics.resends nv.Metrics.writebacks nv.Metrics.writeback_skips
+      (Metrics.mean_quorum_wait nv)
+      nv.Metrics.unavailable;
   if sv.Metrics.scan_rounds > 0 then
     Printf.printf
       "serving: %d scan rounds (%d retries), %d degraded scans, breaker \
@@ -243,6 +285,24 @@ let run impl_name shards partition_name m r domains dist_name theta mix_s
               string_of_int sv.Metrics.breaker_half_opens );
             ("breaker_closes", string_of_int sv.Metrics.breaker_closes);
             ("heals_completed", string_of_int sv.Metrics.heals_completed);
+            ("mem", Printf.sprintf "%S" mem_backend);
+            ("replicas", string_of_int replicas);
+            ("net_sends", string_of_int nv.Metrics.sends);
+            ("net_delivers", string_of_int nv.Metrics.delivers);
+            ("quorum_rounds", string_of_int nv.Metrics.rounds);
+            ("quorum_resends", string_of_int nv.Metrics.resends);
+            ("quorum_ops", string_of_int nv.Metrics.quorum_ops);
+            ( "rounds_per_op",
+              if nv.Metrics.quorum_ops = 0 then "0"
+              else
+                Printf.sprintf "%.3f"
+                  (float_of_int nv.Metrics.rounds
+                  /. float_of_int nv.Metrics.quorum_ops) );
+            ("writebacks", string_of_int nv.Metrics.writebacks);
+            ("writeback_skips", string_of_int nv.Metrics.writeback_skips);
+            ( "mean_quorum_wait",
+              Printf.sprintf "%.2f" (Metrics.mean_quorum_wait nv) );
+            ("unavailable_ops", string_of_int nv.Metrics.unavailable);
           ]);
       Printf.printf "json summary written to %s\n" path)
     json_file;
@@ -257,6 +317,21 @@ let impl =
         ~doc:
           (Printf.sprintf "Implementation: %s."
              (String.concat ", " impl_names)))
+
+let mem_backend =
+  Arg.(
+    value & opt string "raw"
+    & info [ "mem" ] ~docv:"BACKEND"
+        ~doc:
+          "Memory backend: raw (in-process atomics, the default) or net \
+           (ABD quorum registers served by $(b,--replicas) replica \
+           domains over the message transport; docs/MODEL.md section 14).")
+
+let replicas =
+  Arg.(
+    value & opt int 3
+    & info [ "replicas" ] ~docv:"N"
+        ~doc:"Replica count for $(b,--mem net).")
 
 let shards =
   Arg.(
@@ -349,8 +424,8 @@ let cmd =
     (Cmd.info "loadgen"
        ~doc:"multicore load generator for partial snapshot objects")
     Term.(
-      const run $ impl $ shards $ partition $ m $ r $ domains $ dist $ theta
-      $ mix $ rate $ scan_pattern $ duration $ warmup $ seed $ open_shard
-      $ json_file)
+      const run $ impl $ mem_backend $ replicas $ shards $ partition $ m $ r
+      $ domains $ dist $ theta $ mix $ rate $ scan_pattern $ duration
+      $ warmup $ seed $ open_shard $ json_file)
 
 let () = exit (Cmd.eval' cmd)

@@ -57,13 +57,44 @@ let impl_of ~shards name : (module Snapshot.S) =
         (String.concat ", " impl_names);
       exit 2)
 
-let scheds = [ "random"; "bursty"; "starve"; "pct"; "round-robin" ]
+(* ---- the distributed backend: snapshot algorithms over ABD quorum
+   registers (docs/MODEL.md §14, EXPERIMENTS.md E19) ---- *)
 
-let sched_of name ~scanner_pids ~seed =
+module Net_mem = Psnap.Net.Abd.Sim_mem
+module Net_aset_bounded = Active_set.Bounded (Net_mem)
+module Net_fig1 = Snapshot.Fig1 (Net_mem) (Net_aset_bounded)
+module Net_afek = Snapshot.Afek (Net_mem)
+module Net_nonblocking = Snapshot.Nonblocking (Net_mem)
+
+let net_impls : (string * (module Snapshot.S)) list =
+  [
+    ("fig3", (module Sim_net_fig3));
+    ("fig1", (module Net_fig1));
+    ("afek", (module Net_afek));
+    ("nonblocking", (module Net_nonblocking));
+  ]
+
+let net_impl_of name : (module Snapshot.S) =
+  match List.assoc_opt name net_impls with
+  | Some m -> m
+  | None ->
+    Printf.eprintf "--mem net supports implementations: %s\n"
+      (String.concat ", " (List.map fst net_impls));
+    exit 2
+
+let scheds =
+  [ "random"; "bursty"; "starve"; "starve-updaters"; "pct"; "round-robin" ]
+
+let sched_of name ~scanner_pids ~updater_pids ~seed =
   match name with
   | "random" -> Scheduler.random ~seed ()
   | "bursty" -> Scheduler.bursty ~seed ()
   | "starve" -> Scheduler.starve ~victims:scanner_pids ~seed ()
+  | "starve-updaters" ->
+    (* suspends a writer for long stretches — against the quorum backend
+       this parks it mid-Put-broadcast, the half-replicated-write window
+       the weak read mode turns into a new/old inversion (E19) *)
+    Scheduler.starve ~victims:updater_pids ~seed ()
   | "pct" -> Scheduler.pct ~seed ~expected_steps:2000 ()
   | "round-robin" -> Scheduler.round_robin ()
   | s ->
@@ -147,6 +178,7 @@ let run_resilient shards m r updaters updates scanners scans sched_name
   in
   let n = updaters + scanners in
   let scanner_pids = List.init scanners (fun j -> updaters + j) in
+  let updater_pids = List.init updaters (fun i -> i) in
   let init = Array.init m (fun i -> -(i + 1)) in
   Mem.Sim.set_fault_tracking true;
   Metrics.reset_mem_faults ();
@@ -241,7 +273,7 @@ let run_resilient shards m r updaters updates scanners scans sched_name
   for s = 0 to seeds - 1 do
     let seed = seed_base + s in
     let sched =
-      let w = sched_of sched_name ~scanner_pids ~seed in
+      let w = sched_of sched_name ~scanner_pids ~updater_pids ~seed in
       let w = nemesis_of nemesis_name ~seed w in
       let w =
         match mem_kinds with
@@ -408,6 +440,7 @@ let run_durable m r updaters updates scanners scans sched_name seed_base
     exit 2);
   let n = updaters + scanners in
   let scanner_pids = List.init scanners (fun j -> updaters + j) in
+  let updater_pids = List.init updaters (fun i -> i) in
   let init = Array.init m (fun i -> -(i + 1)) in
   Mem.Sim.set_fault_tracking true;
   Metrics.reset_mem_faults ();
@@ -483,7 +516,7 @@ let run_durable m r updaters updates scanners scans sched_name seed_base
     (res, viols, Metrics.samples rec_)
   in
   let sched_for ~seed ~power =
-    let w = sched_of sched_name ~scanner_pids ~seed in
+    let w = sched_of sched_name ~scanner_pids ~updater_pids ~seed in
     let w = nemesis_of nemesis_name ~seed w in
     let w =
       match mem_kinds with
@@ -709,12 +742,336 @@ let run_durable m r updaters updates scanners scans sched_name seed_base
   end;
   if !fail then 1 else 0
 
+(* The distributed backend gets a dedicated campaign: the workload's
+   shared cells are ABD quorum registers served by [replicas] replica
+   fibers over the simulated message transport, so each run schedules
+   [updaters + scanners] client fibers plus the replica fibers, network
+   nemeses inject link faults as ordinary decisions, crash nemeses may hit
+   clients (their restart closes the session) and replicas (their restart
+   resumes serving from the durable store), and an unreachable majority
+   surfaces as [Unavailable] through a per-client circuit breaker — the
+   operation is counted, the client carries on, nothing spins. *)
+let run_net impl_name m r updaters updates scanners scans sched_name
+    seed_base seeds check nemesis_name net_nemesis_name net_mode_name
+    net_rate replicas expect_violations shrink replay_file json_file =
+  let module A = Psnap.Net.Abd in
+  let (module S : Snapshot.S) = net_impl_of impl_name in
+  if r > m then (
+    Printf.eprintf "r (%d) must be <= m (%d)\n" r m;
+    exit 2);
+  if replicas < 1 then (
+    Printf.eprintf "--replicas must be >= 1\n";
+    exit 2);
+  let mode =
+    match net_mode_name with
+    | "abd" -> A.Abd
+    | "weak" -> A.Weak
+    | s ->
+      Printf.eprintf "unknown --net-mode %S (choose from: abd, weak)\n" s;
+      exit 2
+  in
+  let n = updaters + scanners in
+  let scanner_pids = List.init scanners (fun j -> updaters + j) in
+  let updater_pids = List.init updaters (fun i -> i) in
+  let all_nodes = List.init (n + replicas) Fun.id in
+  let init = Array.init m (fun i -> -(i + 1)) in
+  Metrics.reset_net ();
+  Metrics.reset_serving ();
+  let violations = ref 0 in
+  let unavailable_ops = ref 0 in
+  let worst_collects = ref 0 in
+  let total_crashes = ref 0 in
+  let total_restarts = ref 0 in
+  let total_steps = ref 0 in
+  let total_injected = ref 0 in
+  let total_absorbed = ref 0 in
+  let failing_schedule = ref None in
+  let run_once ~record_trace ~sched =
+    let hist = History.create ~now:Sim.mark () in
+    (* Prerun oids must be a pure function of the workload (the cluster's
+       transport and store cells included) so fault schedules replay. *)
+    Sim.reset_prerun_oids ();
+    let cl = A.cluster ~mode ~clients:n ~replicas () in
+    let t = S.create ~n (Array.copy init) in
+    (* An [Unavailable] op is recorded as pending (it may or may not have
+       taken effect — exactly what the observation checker admits); the
+       client moves on to its next operation. *)
+    let attempt f = try f () with Psnap.Net.Unavailable _ -> incr unavailable_ops in
+    let updater ~incarnation pid () =
+      let h = S.handle t ~pid in
+      for k = 1 to updates do
+        let i = (k + (pid * 7)) mod m in
+        let v = (pid * 1_000_000) + (incarnation * 10_000) + k in
+        attempt (fun () ->
+            if check then
+              ignore
+                (History.record hist ~pid (Snapshot_spec.Update (i, v))
+                   (fun () ->
+                     S.update h i v;
+                     Snapshot_spec.Ack))
+            else S.update h i v)
+      done
+    in
+    let scanner pid () =
+      let h = S.handle t ~pid in
+      let idxs =
+        Array.init r (fun k -> ((pid - updaters) + (k * (m / max r 1))) mod m)
+        |> Array.to_list |> List.sort_uniq compare |> Array.of_list
+      in
+      for _ = 1 to scans do
+        attempt (fun () ->
+            if check then
+              ignore
+                (History.record hist ~pid (Snapshot_spec.Scan idxs) (fun () ->
+                     Snapshot_spec.Vals (S.scan h idxs)))
+            else ignore (S.scan h idxs));
+        worst_collects := max !worst_collects (S.last_scan_collects h)
+      done
+    in
+    let client_body ~incarnation pid =
+      if pid < updaters then updater ~incarnation pid else scanner pid
+    in
+    let procs =
+      Array.init (n + replicas) (fun pid ->
+          if pid < n then A.wrap_client cl ~pid (client_body ~incarnation:1 pid)
+          else A.replica_body cl ~index:(pid - n))
+    in
+    (* Crashed clients restart only to close their session (their pending
+       operation stays pending); crashed replicas resume serving from the
+       durable store cell. *)
+    let recover =
+      Some
+        (fun ~pid ~incarnation:_ ->
+          if pid < n then A.close_client cl ~pid
+          else A.replica_body cl ~index:(pid - n))
+    in
+    let res = Sim.run ~record_trace ?recover ~sched procs in
+    (* [A.cluster] resets the transport registry (and its counters) at the
+       start of each run, so sample this run's injected/absorbed totals
+       before the next run clears them. *)
+    let inj, abs_ = Psnap.Net.Transport.Sim.fault_counts () in
+    total_injected := !total_injected + inj;
+    total_absorbed := !total_absorbed + abs_;
+    let viols =
+      if check then
+        Snapshot_spec.check_observations ~init (History.entries hist)
+      else []
+    in
+    (res, viols)
+  in
+  let net_nemesis_of ~seed base =
+    let inflight = Psnap.Net.Transport.Sim.inflight_links in
+    match net_nemesis_name with
+    | "none" -> base
+    | "partition_storm" ->
+      (* The heal window must dwarf a quorum operation (tens of polls per
+         phase times the attempt budget), or partitions heal before anyone
+         notices: long windows are what starve a cut client into
+         [Unavailable] — and what give weak mode's missing write-back time
+         to surface as a new/old inversion. *)
+      Scheduler.partition_storm ~seed ~nodes:all_nodes ~rate:net_rate
+        ~heal_after:4000 base
+    | "heal_after" ->
+      (* the targeted quorum-loss window: the first replica is gone *)
+      Scheduler.heal_after ~victim:n ~peers:all_nodes ~at_clock:60 ~after:150
+        base
+    | "dup_flood" -> Scheduler.dup_flood ~seed ~inflight ~rate:net_rate base
+    | "lag_spike" -> Scheduler.lag_spike ~seed ~inflight ~rate:net_rate base
+    | s ->
+      Printf.eprintf
+        "unknown --net-nemesis %S (choose from: none, partition_storm, \
+         heal_after, dup_flood, lag_spike)\n"
+        s;
+      exit 2
+  in
+  let sched_for ~seed =
+    let w = sched_of sched_name ~scanner_pids ~updater_pids ~seed in
+    let w = nemesis_of nemesis_name ~seed w in
+    net_nemesis_of ~seed w
+  in
+  let fallback = Scheduler.round_robin () in
+  let replay_sched decisions =
+    Scheduler.replay_decisions ~lenient:true ~fallback decisions
+  in
+  let fails decisions =
+    match run_once ~record_trace:false ~sched:(replay_sched decisions) with
+    | _, viols -> viols <> []
+    | exception _ -> true
+  in
+  let account (res : Sim.result) viols =
+    total_crashes := !total_crashes + List.length res.crashed;
+    total_restarts :=
+      !total_restarts
+      + Array.fold_left (fun a i -> a + (i - 1)) 0 res.incarnations;
+    total_steps := !total_steps + res.clock;
+    violations := !violations + List.length viols
+  in
+  let replaying = replay_file <> None && not shrink in
+  let runs =
+    match replay_file with
+    | Some path when replaying ->
+      let decisions = Shrink.load path in
+      Printf.printf "replaying %d decisions from %s\n"
+        (List.length decisions) path;
+      let res, viols = run_once ~record_trace:false ~sched:(replay_sched decisions) in
+      account res viols;
+      List.iter (fun v -> Fmt.pr "  %a@." Snapshot_spec.pp_violation v) viols;
+      1
+    | _ ->
+      for s = 0 to seeds - 1 do
+        let seed = seed_base + s in
+        match run_once ~record_trace:shrink ~sched:(sched_for ~seed) with
+        | res, viols ->
+          account res viols;
+          if viols <> [] then begin
+            Printf.printf "seed %d: %d violations\n" seed (List.length viols);
+            List.iter
+              (fun v -> Fmt.pr "  %a@." Snapshot_spec.pp_violation v)
+              viols;
+            if shrink && !failing_schedule = None then
+              failing_schedule := Some (Trace.schedule res.trace)
+          end
+        | exception e ->
+          incr violations;
+          Printf.printf "seed %d: harness crash: %s\n" seed
+            (Printexc.to_string e)
+      done;
+      seeds
+  in
+  let nm = Metrics.net () in
+  let shrunk_len =
+    match !failing_schedule with
+    | None -> None
+    | Some schedule ->
+      if not (fails schedule) then begin
+        Printf.printf
+          "shrink: recorded schedule does not reproduce deterministically; \
+           skipping\n";
+        None
+      end
+      else begin
+        let minimal, calls = Shrink.minimize ~oracle:fails schedule in
+        Printf.printf "shrink: %d decisions -> %d minimal (%d oracle runs)\n"
+          (List.length schedule) (List.length minimal) calls;
+        List.iter
+          (fun d -> print_endline (Scheduler.decision_to_string d))
+          minimal;
+        Option.iter
+          (fun path ->
+            Shrink.save path minimal;
+            Printf.printf "shrink: minimal schedule saved to %s\n" path)
+          replay_file;
+        Some (List.length minimal)
+      end
+  in
+  let injected, absorbed = (!total_injected, !total_absorbed) in
+  Printf.printf
+    "%s over %s quorum registers: %d clients + %d replicas, m=%d r=%d, %s, \
+     %d runs%s%s\n"
+    S.name
+    (if mode = A.Weak then "WEAK (no write-back)" else "ABD")
+    n replicas m r sched_name runs
+    (if nemesis_name <> "none" then ", nemesis " ^ nemesis_name else "")
+    (if net_nemesis_name <> "none" then ", net-nemesis " ^ net_nemesis_name
+     else "");
+  Printf.printf "worst collects per scan: %d\n" !worst_collects;
+  Printf.printf "faults: %d crashes, %d restarts; net effects: %d injected, \
+                 %d absorbed\n"
+    !total_crashes !total_restarts injected absorbed;
+  Fmt.pr "%a@." Metrics.pp_net nm;
+  let sv = Metrics.serving () in
+  Printf.printf
+    "unavailability: %d ops gave up; breaker: %d opens, %d half-opens, %d \
+     closes\n"
+    !unavailable_ops sv.Metrics.breaker_opens sv.Metrics.breaker_half_opens
+    sv.Metrics.breaker_closes;
+  Option.iter
+    (fun path ->
+      write_json path
+        [
+          ("impl", Printf.sprintf "%S" S.name);
+          ("mem", "\"net\"");
+          ("net_mode", Printf.sprintf "%S" net_mode_name);
+          ("replicas", string_of_int replicas);
+          ("sched", Printf.sprintf "%S" sched_name);
+          ("nemesis", Printf.sprintf "%S" nemesis_name);
+          ("net_nemesis", Printf.sprintf "%S" net_nemesis_name);
+          ("seed_base", string_of_int seed_base);
+          ("runs", string_of_int runs);
+          ("steps", string_of_int !total_steps);
+          ("crashes", string_of_int !total_crashes);
+          ("restarts", string_of_int !total_restarts);
+          ("violations", string_of_int !violations);
+          ("sends", string_of_int nm.Metrics.sends);
+          ("delivers", string_of_int nm.Metrics.delivers);
+          ("net_drops", string_of_int nm.Metrics.drops);
+          ("net_dups", string_of_int nm.Metrics.dups);
+          ("net_delays", string_of_int nm.Metrics.delays);
+          ("net_cuts", string_of_int nm.Metrics.cuts);
+          ("net_heals", string_of_int nm.Metrics.heals);
+          ("net_faults_injected", string_of_int injected);
+          ("net_faults_absorbed", string_of_int absorbed);
+          ("quorum_rounds", string_of_int nm.Metrics.rounds);
+          ("resends", string_of_int nm.Metrics.resends);
+          ("writebacks", string_of_int nm.Metrics.writebacks);
+          ("writeback_skips", string_of_int nm.Metrics.writeback_skips);
+          ("quorum_ops", string_of_int nm.Metrics.quorum_ops);
+          ( "mean_quorum_wait",
+            Printf.sprintf "%.2f" (Metrics.mean_quorum_wait nm) );
+          ("unavailable_ops", string_of_int !unavailable_ops);
+          ("breaker_opens", string_of_int sv.Metrics.breaker_opens);
+          ("breaker_half_opens", string_of_int sv.Metrics.breaker_half_opens);
+          ("breaker_closes", string_of_int sv.Metrics.breaker_closes);
+          ( "shrunk_schedule_len",
+            match shrunk_len with Some l -> string_of_int l | None -> "null" );
+        ];
+      Printf.printf "json summary written to %s\n" path)
+    json_file;
+  if check then
+    if expect_violations then
+      if !violations > 0 then begin
+        Printf.printf
+          "checker: %d violations (expected: weak reads skip the \
+           write-back)\n"
+          !violations;
+        0
+      end
+      else begin
+        Printf.printf
+          "checker: NO violations, but --expect-violations was given\n";
+        1
+      end
+    else if !violations = 0 then begin
+      Printf.printf
+        "checker: all %d executions linearizable (observation check)\n" runs;
+      0
+    end
+    else begin
+      Printf.printf "checker: %d VIOLATIONS\n" !violations;
+      1
+    end
+  else 0
+
 let rec run impl_name shards m r updaters updates scanners scans sched_name
     seed_base seeds check crash_at nemesis_name mem_faults_arg mem_rate
     mem_max expect_violations shrink replay_file json_file stick_epoch
     stall_shard slow_pid max_rounds power_loss_arg checkpoint_every wal_mode
-    =
-  if impl_name = "resilient" then
+    mem_backend replicas net_nemesis_name net_mode_name net_rate =
+  if mem_backend = "net" then begin
+    if List.mem impl_name [ "resilient"; "durable"; "sharded"; "sharded-relaxed" ]
+    then begin
+      Printf.eprintf "--mem net does not support --impl %s\n" impl_name;
+      exit 2
+    end;
+    run_net impl_name m r updaters updates scanners scans sched_name
+      seed_base seeds check nemesis_name net_nemesis_name net_mode_name
+      net_rate replicas expect_violations shrink replay_file json_file
+  end
+  else if mem_backend <> "sim" then begin
+    Printf.eprintf "unknown --mem %S (choose from: sim, net)\n" mem_backend;
+    exit 2
+  end
+  else if impl_name = "resilient" then
     run_resilient shards m r updaters updates scanners scans sched_name
       seed_base seeds nemesis_name
       (mem_kinds_of mem_faults_arg)
@@ -746,6 +1103,7 @@ and run_flat impl_name shards m r updaters updates scanners scans sched_name
     exit 2);
   let n = updaters + scanners in
   let scanner_pids = List.init scanners (fun j -> updaters + j) in
+  let updater_pids = List.init updaters (fun i -> i) in
   let init = Array.init m (fun i -> -(i + 1)) in
   let faults = nemesis_name <> "none" in
   let replaying = replay_file <> None && not shrink in
@@ -852,7 +1210,7 @@ and run_flat impl_name shards m r updaters updates scanners scans sched_name
     | _ ->
       for s = 0 to seeds - 1 do
         let seed = seed_base + s in
-        let base = sched_of sched_name ~scanner_pids ~seed in
+        let base = sched_of sched_name ~scanner_pids ~updater_pids ~seed in
         let sched =
           let w = nemesis_of nemesis_name ~seed base in
           let w =
@@ -1205,6 +1563,51 @@ let wal_mode =
            exists to show the power-loss campaign catches \
            committed-then-lost bugs; pair with $(b,--expect-violations)).")
 
+let mem_backend =
+  Arg.(
+    value & opt string "sim"
+    & info [ "mem" ] ~docv:"BACKEND"
+        ~doc:
+          "Memory backend: $(b,sim) (the step-counting shared memory) or \
+           $(b,net) (ABD quorum registers replicated across \
+           $(b,--replicas) crash-prone replica processes over the \
+           simulated message transport — docs/MODEL.md section 14).")
+
+let replicas =
+  Arg.(
+    value & opt int 3
+    & info [ "replicas" ] ~docv:"N"
+        ~doc:"($(b,--mem net) only) Replica processes backing each register.")
+
+let net_nemesis =
+  Arg.(
+    value & opt string "none"
+    & info [ "net-nemesis" ] ~docv:"NAME"
+        ~doc:
+          "($(b,--mem net) only) Network fault injector layered over the \
+           scheduler: $(b,none), $(b,partition_storm) (seeded symmetric \
+           partitions that heal), $(b,heal_after) (one deterministic \
+           quorum-loss window against replica 0), $(b,dup_flood) \
+           (duplicate deliveries), $(b,lag_spike) (reordering bursts).  \
+           Composable with $(b,--nemesis) and $(b,--shrink).")
+
+let net_mode =
+  Arg.(
+    value & opt string "abd"
+    & info [ "net-mode" ] ~docv:"MODE"
+        ~doc:
+          "($(b,--mem net) only) $(b,abd) (sound: reads write back the \
+           maximal value before returning) or $(b,weak) (deliberately \
+           unsound fast reads without write-back — exhibits new/old \
+           inversion under partitions; pair with \
+           $(b,--expect-violations)).")
+
+let net_rate =
+  Arg.(
+    value & opt float 0.02
+    & info [ "net-rate" ] ~docv:"P"
+        ~doc:"Per-decision-point injection probability for --net-nemesis.")
+
 let cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"drive partial snapshot workloads in the simulator")
@@ -1213,6 +1616,7 @@ let cmd =
       $ scans $ sched $ seed_base $ seeds $ check $ crash_at $ nemesis
       $ mem_faults_arg $ mem_rate $ mem_max $ expect_violations $ shrink
       $ replay_file $ json_file $ stick_epoch $ stall_shard $ slow_pid
-      $ max_rounds $ power_loss_arg $ checkpoint_every $ wal_mode)
+      $ max_rounds $ power_loss_arg $ checkpoint_every $ wal_mode
+      $ mem_backend $ replicas $ net_nemesis $ net_mode $ net_rate)
 
 let () = exit (Cmd.eval' cmd)

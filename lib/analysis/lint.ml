@@ -19,7 +19,7 @@ type ruleset = Algorithm | Runtime | Exempt
 
 let algorithm_dirs = [ "lib/snapshot"; "lib/activeset"; "lib/apps" ]
 
-let runtime_dirs = [ "lib/runtime"; "lib/mem"; "lib/persist" ]
+let runtime_dirs = [ "lib/runtime"; "lib/mem"; "lib/persist"; "lib/net" ]
 
 (* Path components, so "x/lib/snapshot/foo.ml" matches "lib/snapshot". *)
 let ruleset_for_path path =

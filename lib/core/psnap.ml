@@ -259,6 +259,37 @@ module Sim_durable_fig3 =
   Psnap_persist.Durable.Make (Mem.Sim) (Sim_fig3)
     (Psnap_persist.Storage.Sim)
 
+(* ---- Distributed backend (docs/MODEL.md §14): ABD quorum registers
+   over the crash-prone message transport ---- *)
+
+(** The message-passing layer: deterministic simulated transport with
+    injectable link faults, the multicore inbox transport, and the ABD
+    quorum-register memory backend over them. *)
+module Net = struct
+  module Transport = Psnap_net.Net
+  module Abd = Psnap_net.Net_abd
+
+  exception Unavailable = Psnap_net.Net_abd.Unavailable
+end
+
+module Sim_net_aset_fai = Psnap_activeset.Fai_cas.Make (Psnap_net.Net_abd.Sim_mem)
+
+(** Figure 3 over replicated ABD quorum registers on the simulator — the
+    instance the [--mem net] chaos campaigns drive: every base-object
+    access becomes a bounded quorum operation against [--replicas]
+    crash-prone replicas, and the whole thing stays linearizable under
+    partitions, duplication and reordering (EXPERIMENTS.md E19). *)
+module Sim_net_fig3 =
+  Psnap_snapshot.Partial_cas.Make (Psnap_net.Net_abd.Sim_mem) (Sim_net_aset_fai)
+
+module Mc_net_aset_fai = Psnap_activeset.Fai_cas.Make (Psnap_net.Net_abd.Mc_mem)
+
+(** Figure 3 over the multicore ABD cluster (replica domains + inbox
+    queues) — what the loadgen's [--mem net] drives to price quorum
+    round-trips against raw shared memory. *)
+module Mc_net_fig3 =
+  Psnap_snapshot.Partial_cas.Make (Psnap_net.Net_abd.Mc_mem) (Mc_net_aset_fai)
+
 (* ---- Pre-applied instances: multicore (Atomic) backend ---- *)
 
 module Mc_aset_fai = Psnap_activeset.Fai_cas.Make (Mem.Atomic)

@@ -1,0 +1,668 @@
+(* ABD-style multi-writer quorum registers over the crash-prone message
+   transport (docs/MODEL.md §14) — the [Mem_intf.S] backend that lets every
+   snapshot algorithm in the repository run unchanged against a replicated,
+   partition-tolerant service.
+
+   Layout: nodes [0 .. clients-1] are client endpoints (client node id =
+   simulator pid), nodes [clients .. clients+replicas-1] are replicas.
+   Each replica is a single-writer state machine whose durable state lives
+   in one simulated memory cell, so it survives crash/restart of the
+   replica fiber.
+
+   Protocol (Attiya–Bar-Noy–Dolev, multi-writer form):
+
+   - values carry tags [(ts, wpid)], ordered lexicographically; replicas
+     apply a [Put] only when its tag is strictly greater than the stored
+     one, which makes every phase message idempotent under duplication and
+     resend;
+   - [write]: a Get round to a majority learns the maximal timestamp T,
+     then a Put round with tag [(T+1, self)] installs the value at a
+     majority;
+   - [read]: a Get round to a majority picks the maximally-tagged value;
+     if some replier is behind, a write-back Put round installs that value
+     at a majority before returning (the read-repair that makes reads
+     linearizable).  When every quorum replier already reported the
+     maximal tag the write-back is soundly skipped.  [Weak] mode skips the
+     write-back unconditionally — the classically unsound "fast read" that
+     the E19 witness convicts of new/old inversion;
+   - [cas]/[fetch_and_add]: forwarded to the register's home replica
+     (chosen statically as [rid mod replicas]), which applies the
+     read-modify-write atomically against its durable state under a
+     per-client dedup table (at-most-once despite resends and duplicated
+     deliveries), tags the result from its monotone counter, and returns
+     it; the client then replicates the new value to a majority before
+     returning.  Sound here because no algorithm in this repository mixes
+     plain writes with RMW on the same cell: RMW tags of a cell are
+     totally ordered by its home's counter;
+   - every phase is bounded: a request is rebroadcast at most
+     [max_attempts] times with a linearly growing poll budget between
+     resends (poll-step backoff), after which the operation raises
+     {!Unavailable} — surfaced through a per-client circuit breaker
+     ([Metrics.note_breaker]) so a partitioned client fails fast instead
+     of spinning.
+
+   Values cross the wire as [Obj.t].  The packing is confined to this
+   module and is sound for the same reason [Mem_intf]'s physical-equality
+   CAS is: each register holds values of one static type, messages are
+   passed by pointer (never serialized), so physical equality of packed
+   values coincides with the backend contract. *)
+
+module Sim_k = Psnap_sched.Sim
+module Msim = Psnap_sched.Mem_sim
+module Metrics = Psnap_sched.Metrics
+
+exception Unavailable of string
+
+type mode = Abd | Weak
+
+(* ---- tags and wire format ---- *)
+
+type tag = { ts : int; wpid : int }
+
+let tag0 = { ts = 0; wpid = -1 }
+let tag_lt a b = a.ts < b.ts || (a.ts = b.ts && a.wpid < b.wpid)
+
+type value = Obj.t
+
+let pack : 'a -> value = Obj.repr
+let unpack : value -> 'a = Obj.obj
+
+(* One register: [home] is a replica index in [0 .. replicas-1].  [init]
+   doubles as the pre-run contents — [Mem_intf] setup code that runs
+   outside [Sim.run] reads and writes it directly. *)
+type reg = { rid : int; rname : string; home : int; mutable init : value }
+
+type rmw_op = Cas_op of { expected : value; desired : value } | Faa_op of int
+
+type body =
+  | Get of { rid : int }
+  | Gotten of { rid : int; tag : tag; v : value }
+  | Put of { rid : int; tag : tag; v : value }
+  | Put_ack of { rid : int }
+  | Rmw of { rid : int; op : rmw_op }
+  | Rmw_reply of { rid : int; res : value; tag : tag; v : value; applied : bool }
+
+type msg = { src : int; reqid : int; body : body }
+
+(* ---- replica state machine ---- *)
+
+module Imap = Map.Make (Int)
+
+type rstate = {
+  vals : (tag * value) Imap.t;  (* rid -> current tagged value *)
+  next_ts : int;  (* monotone RMW tag counter *)
+  dedup : (int * body) Imap.t;  (* client node -> (last reqid, its reply) *)
+}
+
+let rstate0 = { vals = Imap.empty; next_ts = 1; dedup = Imap.empty }
+
+let lookup ~init_of st rid =
+  match Imap.find_opt rid st.vals with
+  | Some tv -> tv
+  | None -> (tag0, init_of rid)
+
+(* Pure transition: one request in, next state and optional reply out.
+   Shared verbatim by the simulated and the multicore replica bodies. *)
+let serve ~init_of ~rnode st (m : msg) : rstate * body option =
+  match m.body with
+  | Get { rid } ->
+      let tag, v = lookup ~init_of st rid in
+      (st, Some (Gotten { rid; tag; v }))
+  | Put { rid; tag; v } ->
+      let cur, _ = lookup ~init_of st rid in
+      let st =
+        if tag_lt cur tag then { st with vals = Imap.add rid (tag, v) st.vals }
+        else st
+      in
+      (st, Some (Put_ack { rid }))
+  | Rmw { rid; op } -> (
+      match Imap.find_opt m.src st.dedup with
+      | Some (last, reply) when last = m.reqid ->
+          (st, Some reply) (* duplicate of the served request: replay *)
+      | Some (last, _) when m.reqid < last ->
+          (st, None) (* stale duplicate: the client has moved on *)
+      | _ ->
+          let cur_tag, cur = lookup ~init_of st rid in
+          let finish tag' v' res applied =
+            let reply = Rmw_reply { rid; res; tag = tag'; v = v'; applied } in
+            let st =
+              {
+                vals =
+                  (if applied then Imap.add rid (tag', v') st.vals
+                   else st.vals);
+                next_ts = (if applied then st.next_ts + 1 else st.next_ts);
+                dedup = Imap.add m.src (m.reqid, reply) st.dedup;
+              }
+            in
+            (st, Some reply)
+          in
+          (match op with
+          | Cas_op { expected; desired } ->
+              if cur == expected then
+                finish { ts = st.next_ts; wpid = rnode } desired (pack true)
+                  true
+              else finish cur_tag cur (pack false) false
+          | Faa_op k ->
+              let n : int = unpack cur in
+              finish { ts = st.next_ts; wpid = rnode } (pack (n + k)) (pack n)
+                true))
+  | Gotten _ | Put_ack _ | Rmw_reply _ -> (st, None)
+
+(* ---- client-side quorum protocol ---- *)
+
+type cconf = {
+  clients : int;
+  replicas : int;
+  quorum : int;
+  poll_budget : int;
+  max_attempts : int;
+  mutable mode : mode;
+  breaker_cooldown : int;
+}
+
+type endpoint = {
+  self : int;
+  send : dst:int -> msg -> unit;
+  recv : unit -> msg option;
+  relax : unit -> unit;
+}
+
+type ctx = { ep : endpoint; cc : cconf; fresh : unit -> int }
+
+let replica_nodes cc = List.init cc.replicas (fun i -> cc.clients + i)
+
+(* One bounded phase: broadcast the request to [targets], poll the inbox
+   until [need] holds; rebroadcast with a linearly growing poll budget
+   (the backoff), at most [max_attempts] times, then give up.  Returns the
+   poll-steps spent (the quorum-latency contribution). *)
+let run_phase ctx ~reqid ~targets ~mk ~need ~on =
+  let wait = ref 0 in
+  let rec attempt k =
+    if k > ctx.cc.max_attempts then begin
+      Metrics.note_unavailable ();
+      raise (Unavailable "no quorum within the attempt budget")
+    end;
+    if k > 1 then Metrics.note_resend ();
+    List.iter
+      (fun dst -> ctx.ep.send ~dst { src = ctx.ep.self; reqid; body = mk () })
+      targets;
+    let rec poll b =
+      if need () then ()
+      else if b = 0 then attempt (k + 1)
+      else begin
+        (match ctx.ep.recv () with
+        | Some m -> if m.reqid = reqid then on m
+        | None -> ctx.ep.relax ());
+        incr wait;
+        poll (b - 1)
+      end
+    in
+    poll (ctx.cc.poll_budget * k)
+  in
+  attempt 1;
+  Metrics.note_quorum_round ();
+  !wait
+
+let put_round ctx ~rid ~tag ~v =
+  let reqid = ctx.fresh () in
+  let acks = Hashtbl.create 8 in
+  run_phase ctx ~reqid ~targets:(replica_nodes ctx.cc)
+    ~mk:(fun () -> Put { rid; tag; v })
+    ~need:(fun () -> Hashtbl.length acks >= ctx.cc.quorum)
+    ~on:(fun m ->
+      match m.body with
+      | Put_ack { rid = r } when r = rid -> Hashtbl.replace acks m.src ()
+      | _ -> ())
+
+let do_read ctx (r : reg) =
+  let cc = ctx.cc in
+  let reqid = ctx.fresh () in
+  let replies : (int, tag) Hashtbl.t = Hashtbl.create 8 in
+  let best = ref (tag0, r.init) in
+  let w1 =
+    run_phase ctx ~reqid ~targets:(replica_nodes cc)
+      ~mk:(fun () -> Get { rid = r.rid })
+      ~need:(fun () -> Hashtbl.length replies >= cc.quorum)
+      ~on:(fun m ->
+        match m.body with
+        | Gotten { rid; tag; v } when rid = r.rid ->
+            if not (Hashtbl.mem replies m.src) then begin
+              Hashtbl.replace replies m.src tag;
+              if tag_lt (fst !best) tag then best := (tag, v)
+            end
+        | _ -> ())
+  in
+  let btag, bv = !best in
+  let wait =
+    match cc.mode with
+    | Weak -> w1 (* unsound fast read: never write back *)
+    | Abd ->
+        let all_max =
+          Hashtbl.fold (fun _ t acc -> acc && not (tag_lt t btag)) replies true
+        in
+        if all_max then begin
+          Metrics.note_writeback ~skipped:true;
+          w1
+        end
+        else begin
+          Metrics.note_writeback ~skipped:false;
+          w1 + put_round ctx ~rid:r.rid ~tag:btag ~v:bv
+        end
+  in
+  Metrics.note_quorum_op ~wait;
+  bv
+
+let do_write ctx (r : reg) v =
+  let cc = ctx.cc in
+  let reqid = ctx.fresh () in
+  let replies : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let max_ts = ref 0 in
+  let w1 =
+    run_phase ctx ~reqid ~targets:(replica_nodes cc)
+      ~mk:(fun () -> Get { rid = r.rid })
+      ~need:(fun () -> Hashtbl.length replies >= cc.quorum)
+      ~on:(fun m ->
+        match m.body with
+        | Gotten { rid; tag; _ } when rid = r.rid ->
+            if not (Hashtbl.mem replies m.src) then begin
+              Hashtbl.replace replies m.src ();
+              if tag.ts > !max_ts then max_ts := tag.ts
+            end
+        | _ -> ())
+  in
+  let tag = { ts = !max_ts + 1; wpid = ctx.ep.self } in
+  let w2 = put_round ctx ~rid:r.rid ~tag ~v in
+  Metrics.note_quorum_op ~wait:(w1 + w2)
+
+let do_rmw ctx (r : reg) op =
+  let cc = ctx.cc in
+  let home = cc.clients + r.home in
+  let reqid = ctx.fresh () in
+  let result = ref None in
+  let w1 =
+    run_phase ctx ~reqid ~targets:[ home ]
+      ~mk:(fun () -> Rmw { rid = r.rid; op })
+      ~need:(fun () -> Option.is_some !result)
+      ~on:(fun m ->
+        match m.body with
+        | Rmw_reply { rid; res; tag; v; applied } when rid = r.rid ->
+            if Option.is_none !result then result := Some (res, tag, v, applied)
+        | _ -> ())
+  in
+  match !result with
+  | None -> assert false (* [need] held *)
+  | Some (res, tag, v, applied) ->
+      let w2 = if applied then put_round ctx ~rid:r.rid ~tag ~v else 0 in
+      Metrics.note_quorum_op ~wait:(w1 + w2);
+      res
+
+(* ---- circuit breaker (per client) ---- *)
+
+type breaker = { mutable state : [ `Closed | `Open of int | `Half ] }
+
+let guard_breaker ~cooldown (b : breaker) f =
+  let run () =
+    try
+      let y = f () in
+      (match b.state with
+      | `Closed -> ()
+      | _ ->
+          b.state <- `Closed;
+          Metrics.note_breaker `Close);
+      y
+    with Unavailable _ as e ->
+      b.state <- `Open cooldown;
+      Metrics.note_breaker `Open;
+      raise e
+  in
+  match b.state with
+  | `Closed | `Half -> run ()
+  | `Open k when k > 0 ->
+      b.state <- `Open (k - 1);
+      Metrics.note_unavailable ();
+      raise (Unavailable "circuit open")
+  | `Open _ ->
+      b.state <- `Half;
+      Metrics.note_breaker `Half_open;
+      run ()
+
+(* ---- simulated cluster ---- *)
+
+type sim_cluster = {
+  cc : cconf;
+  net : msg Net.Sim.t;
+  regs : (int, reg) Hashtbl.t;
+  mutable next_rid : int;
+  stores : rstate Msim.ref_ array;  (* one durable cell per replica *)
+  sessions : int Msim.ref_ array;  (* per client: 1 = open, 0 = closed *)
+  breakers : breaker array;
+  reqids : int array;  (* per client; client-local, so a plain array *)
+}
+
+let current_sim : sim_cluster option ref = ref None
+
+let cluster ?(mode = Abd) ?(poll_budget = 48) ?(max_attempts = 6)
+    ?(breaker_cooldown = 8) ~clients ~replicas () =
+  if clients < 1 then invalid_arg "Net_abd.cluster: clients < 1";
+  if replicas < 1 then invalid_arg "Net_abd.cluster: replicas < 1";
+  Net.Sim.reset ();
+  let cc =
+    {
+      clients;
+      replicas;
+      quorum = (replicas / 2) + 1;
+      poll_budget;
+      max_attempts;
+      mode;
+      breaker_cooldown;
+    }
+  in
+  let c =
+    {
+      cc;
+      net = Net.Sim.create ~nodes:(clients + replicas) ();
+      regs = Hashtbl.create 64;
+      next_rid = 0;
+      stores =
+        Array.init replicas (fun i ->
+            Msim.make ~name:(Printf.sprintf "abd.r%d.store" i) rstate0);
+      sessions =
+        Array.init clients (fun i ->
+            Msim.make ~name:(Printf.sprintf "abd.c%d.session" i) 1);
+      breakers = Array.init clients (fun _ -> { state = `Closed });
+      reqids = Array.make clients 0;
+    }
+  in
+  current_sim := Some c;
+  c
+
+let set_mode c m = c.cc.mode <- m
+let clients c = c.cc.clients
+let replicas c = c.cc.replicas
+
+let the_cluster () =
+  match !current_sim with
+  | Some c -> c
+  | None -> failwith "Net_abd: no simulated cluster installed"
+
+(* Replica fiber body: serve requests until the inbox is empty and every
+   client session is closed.  Usable directly as a restart body — the
+   durable state lives in the store cell, not the fiber. *)
+let replica_body c ~index () =
+  let rnode = c.cc.clients + index in
+  let init_of rid = (Hashtbl.find c.regs rid).init in
+  let store = c.stores.(index) in
+  let sessions_open () =
+    let rec go i =
+      i < c.cc.clients && (Msim.read c.sessions.(i) > 0 || go (i + 1))
+    in
+    go 0
+  in
+  let rec loop () =
+    match Net.Sim.recv c.net ~self:rnode with
+    | Some m ->
+        let st = Msim.read store in
+        let st', reply = serve ~init_of ~rnode st m in
+        if st' != st then Msim.write store st';
+        (match reply with
+        | Some body ->
+            Net.Sim.send c.net ~src:rnode ~dst:m.src
+              { src = rnode; reqid = m.reqid; body }
+        | None -> ());
+        loop ()
+    | None -> if sessions_open () then loop () else ()
+  in
+  loop ()
+
+(* Client wrapper: one bootstrap step (so [Sim.current_pid] is set before
+   the first quorum operation), the workload, then close the session so
+   replicas may retire.  An [Unavailable] escaping the workload closes the
+   session instead of killing the run — the client gave up, the campaign
+   carries on.  [close_client] is the matching restart body: closing the
+   session is idempotent, so a crash anywhere in the client is safe. *)
+let wrap_client c ~pid body () =
+  if pid < 0 || pid >= c.cc.clients then invalid_arg "Net_abd.wrap_client";
+  ignore (Msim.read c.sessions.(pid));
+  (try body () with Unavailable _ -> ());
+  Msim.write c.sessions.(pid) 0
+
+let close_client c ~pid () = Msim.write c.sessions.(pid) 0
+
+let sim_ctx c =
+  match Sim_k.current_pid () with
+  | Some pid when pid < c.cc.clients ->
+      {
+        ep =
+          {
+            self = pid;
+            send = (fun ~dst m -> Net.Sim.send c.net ~src:pid ~dst m);
+            recv = (fun () -> Net.Sim.recv c.net ~self:pid);
+            relax = (fun () -> ());
+          };
+        cc = c.cc;
+        fresh =
+          (fun () ->
+            let id = c.reqids.(pid) + 1 in
+            c.reqids.(pid) <- id;
+            id);
+      }
+  | Some _ -> failwith "Net_abd: replica fiber called a client memory op"
+  | None ->
+      failwith
+        "Net_abd: client op before the fiber's first scheduling point (run \
+         the workload via Net_abd.wrap_client)"
+
+module Sim_mem : Psnap_mem.Mem_intf.S = struct
+  type 'a ref_ = reg
+
+  let make ?name v =
+    let c = the_cluster () in
+    let rid = c.next_rid in
+    c.next_rid <- rid + 1;
+    let rname =
+      match name with Some n -> n | None -> Printf.sprintf "abd%d" rid
+    in
+    let r = { rid; rname; home = rid mod c.cc.replicas; init = pack v } in
+    Hashtbl.replace c.regs rid r;
+    r
+
+  (* Outside a run there are no replica fibers: operate on the pre-run
+     contents directly.  Inside a run, go through breaker + quorum. *)
+  let prerun () = Sim_k.current_serial () = None
+
+  let guarded c f =
+    let ctx = sim_ctx c in
+    guard_breaker ~cooldown:c.cc.breaker_cooldown c.breakers.(ctx.ep.self)
+      (fun () -> f ctx)
+
+  let read r =
+    let c = the_cluster () in
+    if prerun () then unpack r.init
+    else unpack (guarded c (fun ctx -> do_read ctx r))
+
+  let write r v =
+    let c = the_cluster () in
+    if prerun () then r.init <- pack v
+    else guarded c (fun ctx -> do_write ctx r (pack v))
+
+  let cas r ~expected ~desired =
+    let c = the_cluster () in
+    if prerun () then
+      if unpack r.init == expected then begin
+        r.init <- pack desired;
+        true
+      end
+      else false
+    else
+      unpack
+        (guarded c (fun ctx ->
+             do_rmw ctx r
+               (Cas_op { expected = pack expected; desired = pack desired })))
+
+  let fetch_and_add r k =
+    let c = the_cluster () in
+    if prerun () then begin
+      let n : int = unpack r.init in
+      r.init <- pack (n + k);
+      n
+    end
+    else unpack (guarded c (fun ctx -> do_rmw ctx r (Faa_op k)))
+end
+
+(* ---- multicore cluster (loadgen backend) ---- *)
+
+type mc_cluster = {
+  mcc : cconf;
+  mnet : msg Net.Mc.t;
+  mregs : (int, reg) Hashtbl.t;
+  mreg_lock : Mutex.t;
+  mutable mnext_rid : int;
+  stop : bool Atomic.t;
+  claim : int Atomic.t;
+}
+
+let current_mc : mc_cluster option ref = ref None
+
+let mc_cluster ?(poll_budget = 200_000) ?(max_attempts = 8) ~clients
+    ~replicas () =
+  if clients < 1 then invalid_arg "Net_abd.mc_cluster: clients < 1";
+  if replicas < 1 then invalid_arg "Net_abd.mc_cluster: replicas < 1";
+  let mcc =
+    {
+      clients;
+      replicas;
+      quorum = (replicas / 2) + 1;
+      poll_budget;
+      max_attempts;
+      mode = Abd;
+      breaker_cooldown = 0;
+    }
+  in
+  let c =
+    {
+      mcc;
+      mnet = Net.Mc.create ~nodes:(clients + replicas) ();
+      mregs = Hashtbl.create 64;
+      mreg_lock = Mutex.create ();
+      mnext_rid = 0;
+      stop = Atomic.make false;
+      claim = Atomic.make 0;
+    }
+  in
+  current_mc := Some c;
+  c
+
+let mc_stop c =
+  Atomic.set c.stop true;
+  Net.Mc.wake_all c.mnet
+
+(* Replica domain body: local state (the domain is the single writer; no
+   crash model under the loadgen), sleep on the inbox until stopped. *)
+let mc_replica_body c ~index () =
+  let rnode = c.mcc.clients + index in
+  let init_of rid =
+    Mutex.lock c.mreg_lock;
+    let r = Hashtbl.find c.mregs rid in
+    Mutex.unlock c.mreg_lock;
+    r.init
+  in
+  let st = ref rstate0 in
+  let rec loop () =
+    match
+      Net.Mc.recv_wait c.mnet ~self:rnode ~should_stop:(fun () ->
+          Atomic.get c.stop)
+    with
+    | Some m ->
+        let st', reply = serve ~init_of ~rnode !st m in
+        st := st';
+        (match reply with
+        | Some body ->
+            Net.Mc.send c.mnet ~dst:m.src { src = rnode; reqid = m.reqid; body }
+        | None -> ());
+        loop ()
+    | None -> ()
+  in
+  loop ()
+
+(* Client identity under the loadgen: each domain claims a client node id
+   on first use and keeps a domain-local request counter. *)
+type mc_client = { node : int; mutable next_reqid : int }
+
+let mc_client_key =
+  Domain.DLS.new_key (fun () -> { node = -1; next_reqid = 0 })
+
+let mc_self c =
+  let cl = Domain.DLS.get mc_client_key in
+  if cl.node >= 0 then cl
+  else begin
+    let id = Atomic.fetch_and_add c.claim 1 in
+    if id >= c.mcc.clients then
+      failwith "Net_abd: more client domains than the cluster was built for";
+    let cl = { node = id; next_reqid = 0 } in
+    Domain.DLS.set mc_client_key cl;
+    cl
+  end
+
+let mc_ctx c =
+  let cl = mc_self c in
+  {
+    ep =
+      {
+        self = cl.node;
+        send = (fun ~dst m -> Net.Mc.send c.mnet ~dst m);
+        recv =
+          (* blocking: a reply is always in flight while a phase polls, so
+             this only parks the client until its replicas answer (None
+             solely after [mc_stop], which degrades into plain polling) *)
+          (fun () ->
+            Net.Mc.recv_wait c.mnet ~self:cl.node ~should_stop:(fun () ->
+                Atomic.get c.stop));
+        relax = Domain.cpu_relax;
+      };
+    cc = c.mcc;
+    fresh =
+      (fun () ->
+        let id = cl.next_reqid + 1 in
+        cl.next_reqid <- id;
+        id);
+  }
+
+module Mc_mem : Psnap_mem.Mem_intf.S = struct
+  type 'a ref_ = reg
+
+  let the () =
+    match !current_mc with
+    | Some c -> c
+    | None -> failwith "Net_abd: no multicore cluster installed"
+
+  let make ?name v =
+    let c = the () in
+    Mutex.lock c.mreg_lock;
+    let rid = c.mnext_rid in
+    c.mnext_rid <- rid + 1;
+    let rname =
+      match name with Some n -> n | None -> Printf.sprintf "abd%d" rid
+    in
+    let r = { rid; rname; home = rid mod c.mcc.replicas; init = pack v } in
+    Hashtbl.replace c.mregs rid r;
+    Mutex.unlock c.mreg_lock;
+    r
+
+  let read r =
+    let c = the () in
+    unpack (do_read (mc_ctx c) r)
+
+  let write r v =
+    let c = the () in
+    do_write (mc_ctx c) r (pack v)
+
+  let cas r ~expected ~desired =
+    let c = the () in
+    unpack
+      (do_rmw (mc_ctx c) r
+         (Cas_op { expected = pack expected; desired = pack desired }))
+
+  let fetch_and_add r k =
+    let c = the () in
+    unpack (do_rmw (mc_ctx c) r (Faa_op k))
+end

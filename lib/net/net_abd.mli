@@ -1,0 +1,105 @@
+(** ABD-style multi-writer quorum registers over the message transport
+    (docs/MODEL.md §14): a [Psnap_mem.Mem_intf.S] backend whose cells are
+    replicated across [replicas] crash-prone replica processes, so every
+    snapshot algorithm in the repository runs unchanged against a
+    partition-tolerant replicated service.
+
+    Reads and writes follow Attiya–Bar-Noy–Dolev: a Get round to a
+    majority, then (for writes, and for reads that saw a lagging replier)
+    a Put round installing the maximally-tagged value at a majority —
+    the read write-back that makes reads linearizable.  [cas] and
+    [fetch_and_add] are forwarded to the register's home replica, which
+    applies them atomically against its durable state under per-client
+    deduplication (at-most-once despite resends and duplicated
+    deliveries); the client replicates the result to a majority before
+    returning.  Every phase is bounded (resends with growing poll budgets,
+    then {!Unavailable}), and a per-client circuit breaker makes a
+    partitioned client fail fast instead of spinning.
+
+    Node numbering: clients are nodes [0 .. clients-1] (client node id =
+    simulator pid), replicas are nodes [clients .. clients+replicas-1] —
+    the ids the network nemeses ([Scheduler.partition_storm], ...) and
+    [Net_fault] schedule lines refer to. *)
+
+(** Raised when an operation cannot reach a majority within its attempt
+    budget, or fails fast on an open circuit breaker.  The operation may
+    or may not have taken effect (a quorum write can land without its ack
+    arriving) — exactly the "pending operation" a linearizability checker
+    must leave open. *)
+exception Unavailable of string
+
+type mode =
+  | Abd  (** sound: reads write back the maximal value when needed *)
+  | Weak
+      (** unsound fast read: never write back — exhibits new/old inversion
+          under partitions (the E19 witness) *)
+
+(** {2 Simulated cluster} *)
+
+type sim_cluster
+
+(** [cluster ~clients ~replicas ()] builds a fresh simulated cluster,
+    resets the transport registry ({!Net.Sim.reset}) and installs the
+    cluster as the target of {!Sim_mem}.  Replica durable state lives in
+    one simulated memory cell per replica, so it survives crash/restart
+    of the replica fiber.  [poll_budget] is the per-phase poll-step
+    budget of attempt 1 (attempt [k] polls [k] times that);
+    [breaker_cooldown] is the number of operations failed fast after an
+    [Unavailable] before a half-open probe. *)
+val cluster :
+  ?mode:mode ->
+  ?poll_budget:int ->
+  ?max_attempts:int ->
+  ?breaker_cooldown:int ->
+  clients:int ->
+  replicas:int ->
+  unit ->
+  sim_cluster
+
+val set_mode : sim_cluster -> mode -> unit
+val clients : sim_cluster -> int
+val replicas : sim_cluster -> int
+
+(** [replica_body c ~index] — fiber body of replica [index]; serves
+    requests until its inbox is empty and every client session is closed.
+    Also the correct restart body after a replica crash. *)
+val replica_body : sim_cluster -> index:int -> unit -> unit
+
+(** [wrap_client c ~pid body] — client fiber body: one bootstrap step, the
+    workload (an escaping {!Unavailable} is absorbed — the client gives
+    up), then closes the session so replicas may retire. *)
+val wrap_client : sim_cluster -> pid:int -> (unit -> unit) -> unit -> unit
+
+(** Restart body for a crashed client: (idempotently) closes its
+    session. *)
+val close_client : sim_cluster -> pid:int -> unit -> unit
+
+(** The quorum-register memory backend of the installed {!cluster}.
+    Operations must run inside client fibers wrapped by {!wrap_client};
+    outside a run they act directly on pre-run register contents. *)
+module Sim_mem : Psnap_mem.Mem_intf.S
+
+(** {2 Multicore cluster (loadgen backend)} *)
+
+type mc_cluster
+
+(** [mc_cluster ~clients ~replicas ()] — the wall-clock variant over
+    mutex-guarded inboxes; installs itself as the target of {!Mc_mem}.
+    Replicas run as domains executing {!mc_replica_body}; client domains
+    claim node ids on first operation (at most [clients] of them,
+    including the spawning domain if it operates). *)
+val mc_cluster :
+  ?poll_budget:int ->
+  ?max_attempts:int ->
+  clients:int ->
+  replicas:int ->
+  unit ->
+  mc_cluster
+
+val mc_replica_body : mc_cluster -> index:int -> unit -> unit
+
+(** Tell replica domains to retire once their inboxes drain; join them
+    afterwards. *)
+val mc_stop : mc_cluster -> unit
+
+module Mc_mem : Psnap_mem.Mem_intf.S

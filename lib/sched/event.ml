@@ -16,6 +16,26 @@ type fault_kind =
   | Stuck_cell  (** the cell permanently stops accepting writes: writes and
                     F&A adds are dropped, CAS always fails *)
 
+(** Network-fault kinds (docs/MODEL.md §14).  Like memory faults, network
+    faults are scheduler decisions: they target a directed link [src → dst]
+    of the simulated message-passing substrate ([Psnap_net.Net]), are
+    charged to the fault budget, appear in traces, and replay/shrink
+    exactly like crashes.  A decision against a link with no matching
+    in-flight message (or an already cut / already healed link) is
+    {e absorbed}: recorded but without effect, which keeps every decision
+    playable under ddmin. *)
+type net_fault_kind =
+  | Drop_msg  (** the oldest in-flight message on the link is discarded *)
+  | Dup_msg  (** the oldest in-flight message is duplicated (delivered
+                 twice) *)
+  | Delay_msg  (** the oldest in-flight message moves behind the newest:
+                   a reordering delay *)
+  | Cut_link  (** the directed link stops delivering; in-flight and newly
+                  sent messages are held, not dropped (a one-way
+                  partition; cut both directions for a symmetric one) *)
+  | Heal_link  (** the directed link resumes delivering, held messages
+                   first *)
+
 type t =
   | Step of { pid : int; oid : int; obj_name : string; op : mem_op; clock : int }
   | Crash of { pid : int; clock : int }
@@ -29,6 +49,8 @@ type t =
           last [sync] (docs/MODEL.md §13); processes are unaffected — a
           nemesis composes the power {e cycle} out of this decision plus
           ordinary crashes and restarts *)
+  | Net_fault of { kind : net_fault_kind; src : int; dst : int; clock : int }
+      (** a network fault was injected into the directed link [src → dst] *)
 
 let pp_mem_op ppf = function
   | Read -> Fmt.string ppf "read"
@@ -54,6 +76,28 @@ let fault_kind_of_string = function
 
 let pp_fault_kind ppf k = Fmt.string ppf (fault_kind_to_string k)
 
+let all_net_fault_kinds = [ Drop_msg; Dup_msg; Delay_msg; Cut_link; Heal_link ]
+
+(* The verbs double as the schedule-file syntax ("netdrop 0 3"); prefixed
+   so they can never collide with the memory-fault verbs, which share the
+   decision grammar. *)
+let net_fault_kind_to_string = function
+  | Drop_msg -> "netdrop"
+  | Dup_msg -> "netdup"
+  | Delay_msg -> "netdelay"
+  | Cut_link -> "netcut"
+  | Heal_link -> "netheal"
+
+let net_fault_kind_of_string = function
+  | "netdrop" -> Some Drop_msg
+  | "netdup" -> Some Dup_msg
+  | "netdelay" -> Some Delay_msg
+  | "netcut" -> Some Cut_link
+  | "netheal" -> Some Heal_link
+  | _ -> None
+
+let pp_net_fault_kind ppf k = Fmt.string ppf (net_fault_kind_to_string k)
+
 let pp ppf = function
   | Step { pid; oid; obj_name; op; clock } ->
     Fmt.pf ppf "%6d p%d %a %s#%d" clock pid pp_mem_op op obj_name oid
@@ -63,3 +107,6 @@ let pp ppf = function
   | Mem_fault { kind; oid; clock } ->
     Fmt.pf ppf "%6d MEM-FAULT %a cell#%d" clock pp_fault_kind kind oid
   | Power_loss { clock } -> Fmt.pf ppf "%6d POWER-LOSS" clock
+  | Net_fault { kind; src; dst; clock } ->
+    Fmt.pf ppf "%6d NET-FAULT %a link %d->%d" clock pp_net_fault_kind kind src
+      dst

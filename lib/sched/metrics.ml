@@ -300,6 +300,131 @@ let pp_durable ppf d =
     d.recoveries d.replayed_updates d.truncated_bytes d.torn_records
     d.corrupt_records d.power_losses
 
+(** {2 Network counters} *)
+
+(* Global counters bumped by the Psnap_net transport and the ABD quorum
+   registers (docs/MODEL.md §14).  Same discipline as the serving and
+   durable counters: plain references — exact under the cooperative
+   simulator, approximate (unsynchronized increments) under the
+   multi-domain loadgen, observability only. *)
+
+let n_sends = ref 0
+
+let n_delivers = ref 0
+
+let n_drops = ref 0
+
+let n_dups = ref 0
+
+let n_delays = ref 0
+
+let n_cuts = ref 0
+
+let n_heals = ref 0
+
+let n_rounds = ref 0
+
+let n_resends = ref 0
+
+let n_writebacks = ref 0
+
+let n_writeback_skips = ref 0
+
+let n_unavailable = ref 0
+
+let n_quorum_ops = ref 0
+
+let n_quorum_wait = ref 0
+
+type net = {
+  sends : int;
+  delivers : int;
+  drops : int;
+  dups : int;
+  delays : int;
+  cuts : int;
+  heals : int;
+  rounds : int;
+  resends : int;
+  writebacks : int;
+  writeback_skips : int;
+  unavailable : int;
+  quorum_ops : int;
+  quorum_wait : int;
+}
+
+let net () =
+  {
+    sends = !n_sends;
+    delivers = !n_delivers;
+    drops = !n_drops;
+    dups = !n_dups;
+    delays = !n_delays;
+    cuts = !n_cuts;
+    heals = !n_heals;
+    rounds = !n_rounds;
+    resends = !n_resends;
+    writebacks = !n_writebacks;
+    writeback_skips = !n_writeback_skips;
+    unavailable = !n_unavailable;
+    quorum_ops = !n_quorum_ops;
+    quorum_wait = !n_quorum_wait;
+  }
+
+let reset_net () =
+  n_sends := 0;
+  n_delivers := 0;
+  n_drops := 0;
+  n_dups := 0;
+  n_delays := 0;
+  n_cuts := 0;
+  n_heals := 0;
+  n_rounds := 0;
+  n_resends := 0;
+  n_writebacks := 0;
+  n_writeback_skips := 0;
+  n_unavailable := 0;
+  n_quorum_ops := 0;
+  n_quorum_wait := 0
+
+let note_send () = incr n_sends
+
+let note_deliver () = incr n_delivers
+
+let note_net_fault (kind : Event.net_fault_kind) =
+  match kind with
+  | Event.Drop_msg -> incr n_drops
+  | Event.Dup_msg -> incr n_dups
+  | Event.Delay_msg -> incr n_delays
+  | Event.Cut_link -> incr n_cuts
+  | Event.Heal_link -> incr n_heals
+
+let note_quorum_round () = incr n_rounds
+
+let note_resend () = incr n_resends
+
+let note_writeback ~skipped =
+  if skipped then incr n_writeback_skips else incr n_writebacks
+
+let note_unavailable () = incr n_unavailable
+
+let note_quorum_op ~wait =
+  incr n_quorum_ops;
+  n_quorum_wait := !n_quorum_wait + wait
+
+let mean_quorum_wait n =
+  if n.quorum_ops = 0 then 0.0
+  else float_of_int n.quorum_wait /. float_of_int n.quorum_ops
+
+let pp_net ppf n =
+  Format.fprintf ppf
+    "net: sends=%d delivers=%d drops=%d dups=%d delays=%d cuts=%d heals=%d \
+     rounds=%d resends=%d writebacks=%d/%d-skipped unavailable=%d \
+     quorum-wait=%.1f"
+    n.sends n.delivers n.drops n.dups n.delays n.cuts n.heals n.rounds
+    n.resends n.writebacks n.writeback_skips n.unavailable
+    (mean_quorum_wait n)
+
 (** {2 Memory faults} *)
 
 type fault_line = {

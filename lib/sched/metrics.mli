@@ -158,6 +158,65 @@ val note_power_loss : unit -> unit
 
 val pp_durable : Format.formatter -> durable -> unit
 
+(** {2 Network counters}
+
+    Global counters bumped by the [Psnap_net] transport and the ABD quorum
+    registers (docs/MODEL.md §14): message traffic, injected network-fault
+    effects, quorum protocol rounds and resends, read write-backs (and the
+    sound skip when every quorum replier already holds the maximal tag),
+    operations that gave up with [Unavailable], and the poll-steps clients
+    spent waiting for quorums (the step-denominated quorum latency).  Same
+    discipline as the serving counters: plain references — exact under the
+    cooperative simulator, approximate under the multi-domain loadgen. *)
+
+type net = {
+  sends : int;  (** messages enqueued on a link *)
+  delivers : int;  (** messages received by a node *)
+  drops : int;  (** injected [Drop_msg] effects *)
+  dups : int;  (** injected [Dup_msg] effects *)
+  delays : int;  (** injected [Delay_msg] effects *)
+  cuts : int;  (** injected [Cut_link] effects *)
+  heals : int;  (** injected [Heal_link] effects *)
+  rounds : int;  (** completed quorum phases (Get or Put rounds) *)
+  resends : int;  (** request rebroadcasts beyond each phase's first *)
+  writebacks : int;  (** read-repair write-back rounds executed *)
+  writeback_skips : int;
+      (** write-backs soundly skipped (every replier already maximal) *)
+  unavailable : int;  (** operations that raised [Unavailable] *)
+  quorum_ops : int;  (** completed quorum operations *)
+  quorum_wait : int;  (** total poll-steps spent awaiting quorums *)
+}
+
+val net : unit -> net
+
+val reset_net : unit -> unit
+
+(** Bump API used by [Psnap_net]. *)
+
+val note_send : unit -> unit
+
+val note_deliver : unit -> unit
+
+val note_net_fault : Event.net_fault_kind -> unit
+(** One fault effect actually injected (absorbed decisions are not
+    counted here; the transport's own counters track absorption). *)
+
+val note_quorum_round : unit -> unit
+
+val note_resend : unit -> unit
+
+val note_writeback : skipped:bool -> unit
+
+val note_unavailable : unit -> unit
+
+val note_quorum_op : wait:int -> unit
+(** One quorum operation completed after [wait] poll-steps. *)
+
+(** Mean poll-steps per completed quorum operation. *)
+val mean_quorum_wait : net -> float
+
+val pp_net : Format.formatter -> net -> unit
+
 (** {2 Memory faults}
 
     Per-kind injection counters from the simulated memory

@@ -55,6 +55,12 @@ type decision =
           decision — so no shrunk schedule can leave a survivor computing
           against pre-loss volatile state.  Reboot is ordinary [Restart]
           decisions; charged to the fault budget like {!Crash} *)
+  | Net_fault of { kind : Event.net_fault_kind; src : int; dst : int }
+      (** inject a network fault into the directed link [src → dst] of the
+          simulated message substrate (docs/MODEL.md §14); charged to the
+          fault budget like {!Crash}.  Absorbed (recorded, no effect) when
+          the link has no matching in-flight message or link state, so the
+          decision is always playable under replay and ddmin *)
   | Stop  (** abandon the run (explorer ran out of forced choices) *)
 
 type t = { name : string; pick : view -> decision }
@@ -76,6 +82,8 @@ let decision_to_string = function
   | Mem_fault { kind; oid } ->
     Printf.sprintf "%s %d" (Event.fault_kind_to_string kind) oid
   | Power_loss -> "powerloss"
+  | Net_fault { kind; src; dst } ->
+    Printf.sprintf "%s %d %d" (Event.net_fault_kind_to_string kind) src dst
   | Stop -> "stop"
 
 let decision_of_string s =
@@ -90,6 +98,13 @@ let decision_of_string s =
       {
         kind = Option.get (Event.fault_kind_of_string verb);
         oid = int_of_string oid;
+      }
+  | [ verb; src; dst ] when Event.net_fault_kind_of_string verb <> None ->
+    Net_fault
+      {
+        kind = Option.get (Event.net_fault_kind_of_string verb);
+        src = int_of_string src;
+        dst = int_of_string dst;
       }
   | _ -> invalid_arg (Printf.sprintf "Scheduler.decision_of_string: %S" s)
 
@@ -199,6 +214,9 @@ let replay_decisions ?(lenient = false) ?fallback decisions =
         | Mem_fault _ -> true
         (* Power loss hits whatever storage devices exist; always playable. *)
         | Power_loss -> true
+        (* A net fault against a link with no matching in-flight message is
+           absorbed by the transport, so the decision is always playable. *)
+        | Net_fault _ -> true
         | Stop -> true
       in
       if applicable then (
@@ -723,3 +741,157 @@ let power_storm ~seed ?(rate = 0.005) ?(max_losses = 2) inner =
       else inner.pick v
   in
   { name = Printf.sprintf "power-storm(%d)+%s" seed inner.name; pick }
+
+(* ---- network-fault nemeses (docs/MODEL.md §14) ---- *)
+
+(* A partition or a lag spike is several [Net_fault] decisions (one per
+   directed link, or per delayed message); a nemesis emits them one
+   scheduler consultation at a time through a pending queue, so each ends
+   up an individually shrinkable decision in the recorded schedule. *)
+let drain queue inner v =
+  match !queue with
+  | d :: tl ->
+    queue := tl;
+    d
+  | [] -> inner.pick v
+
+(** Seeded partition storm: with probability [rate] at each decision point
+    (at most [max_partitions] per run), isolate a uniformly chosen node of
+    [victims] from every node of [nodes] — a symmetric partition, one
+    [Cut_link] decision per direction per peer — and heal all those links
+    [heal_after] clock ticks later.  At most one partition is open at a
+    time.  All randomness derives from [seed]; the schedule replays
+    exactly. *)
+let partition_storm ~seed ~nodes ?victims ?(rate = 0.01) ?(heal_after = 80)
+    ?(max_partitions = 3) inner =
+  if nodes = [] then invalid_arg "Scheduler.partition_storm: no nodes";
+  let victims = match victims with Some vs -> vs | None -> nodes in
+  if victims = [] then invalid_arg "Scheduler.partition_storm: no victims";
+  let st = Random.State.make [| seed; 0x9A27 |] in
+  let queue = ref [] in
+  let open_partition = ref None in
+  let count = ref 0 in
+  let links_of victim =
+    List.concat_map
+      (fun peer ->
+        if peer = victim then []
+        else
+          [
+            Net_fault { kind = Event.Cut_link; src = victim; dst = peer };
+            Net_fault { kind = Event.Cut_link; src = peer; dst = victim };
+          ])
+      nodes
+  in
+  let heals_of victim =
+    List.concat_map
+      (fun peer ->
+        if peer = victim then []
+        else
+          [
+            Net_fault { kind = Event.Heal_link; src = victim; dst = peer };
+            Net_fault { kind = Event.Heal_link; src = peer; dst = victim };
+          ])
+      nodes
+  in
+  let pick v =
+    (match !open_partition with
+    | Some (victim, cut_at) when v.clock >= cut_at + heal_after ->
+      open_partition := None;
+      queue := !queue @ heals_of victim
+    | _ -> ());
+    if
+      !queue = []
+      && !open_partition = None
+      && !count < max_partitions
+      && Random.State.float st 1.0 < rate
+    then begin
+      let victim =
+        List.nth victims (Random.State.int st (List.length victims))
+      in
+      incr count;
+      open_partition := Some (victim, v.clock);
+      queue := links_of victim
+    end;
+    drain queue inner v
+  in
+  { name = Printf.sprintf "partition-storm(%d)+%s" seed inner.name; pick }
+
+(** One deterministic partition window: once the clock reaches [at_clock],
+    cut [victim] off from every node of [peers] (both directions), then
+    heal all those links [after] clock ticks later — the targeted
+    quorum-loss scenario ("replica 2 is unreachable from clock 40 to
+    120"). *)
+let heal_after ~victim ~peers ~at_clock ~after inner =
+  let queue = ref [] in
+  let state = ref `Armed in
+  let links kind =
+    List.concat_map
+      (fun peer ->
+        if peer = victim then []
+        else
+          [
+            Net_fault { kind; src = victim; dst = peer };
+            Net_fault { kind; src = peer; dst = victim };
+          ])
+      peers
+  in
+  let pick v =
+    (match !state with
+    | `Armed when v.clock >= at_clock ->
+      state := `Cut v.clock;
+      queue := !queue @ links Event.Cut_link
+    | `Cut c when v.clock >= c + after ->
+      state := `Done;
+      queue := !queue @ links Event.Heal_link
+    | _ -> ());
+    drain queue inner v
+  in
+  { name = Printf.sprintf "%s+heal-after@%d" inner.name at_clock; pick }
+
+(** Seeded duplicate-delivery flood: with probability [rate] at each
+    decision point (at most [max_dups] per run), duplicate the oldest
+    in-flight message on a uniformly chosen loaded link.  [inflight] lists
+    the directed links currently carrying at least one message (the
+    transport exposes it; absorbed-if-empty keeps replay safe). *)
+let dup_flood ~seed ~inflight ?(rate = 0.05) ?(max_dups = 16) inner =
+  let st = Random.State.make [| seed; 0xD0B1 |] in
+  let dups = ref 0 in
+  let pick v =
+    if !dups < max_dups && Random.State.float st 1.0 < rate then begin
+      let links = inflight () in
+      if Array.length links = 0 then inner.pick v
+      else begin
+        let src, dst = links.(Random.State.int st (Array.length links)) in
+        incr dups;
+        Net_fault { kind = Event.Dup_msg; src; dst }
+      end
+    end
+    else inner.pick v
+  in
+  { name = Printf.sprintf "dup-flood(%d)+%s" seed inner.name; pick }
+
+(** Seeded lag spikes: with probability [rate] at each decision point (at
+    most [max_spikes] per run), reorder a burst of [burst] messages on a
+    uniformly chosen loaded link — each delay pushes the link's oldest
+    message behind its newest, so a spike scrambles the delivery order of
+    a whole protocol round. *)
+let lag_spike ~seed ~inflight ?(rate = 0.02) ?(burst = 4) ?(max_spikes = 6)
+    inner =
+  let st = Random.State.make [| seed; 0x1A95 |] in
+  let spikes = ref 0 in
+  let queue = ref [] in
+  let pick v =
+    if !queue = [] && !spikes < max_spikes && Random.State.float st 1.0 < rate
+    then begin
+      let links = inflight () in
+      if Array.length links > 0 then begin
+        let src, dst = links.(Random.State.int st (Array.length links)) in
+        incr spikes;
+        queue :=
+          List.init burst (fun _ ->
+              Net_fault { kind = Event.Delay_msg; src; dst })
+      end
+    end;
+    drain queue inner v
+  in
+  { name = Printf.sprintf "lag-spike(%d)+%s" seed inner.name; pick }

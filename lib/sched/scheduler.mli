@@ -49,6 +49,12 @@ type decision =
           however shrunk, can leave a survivor computing against pre-loss
           volatile state.  Reboot is ordinary [Restart] decisions; charged
           to the fault budget like {!Crash} *)
+  | Net_fault of { kind : Event.net_fault_kind; src : int; dst : int }
+      (** inject a network fault into the directed link [src → dst] of the
+          simulated message substrate (docs/MODEL.md §14); charged to the
+          fault budget like {!Crash}.  Absorbed (recorded, no effect) when
+          the link has no matching in-flight message or link state, so the
+          decision is always playable under replay and ddmin *)
   | Stop  (** abandon the run *)
 
 type t = { name : string; pick : view -> decision }
@@ -67,7 +73,10 @@ val is_restartable : view -> int -> bool
 (** {2 Decision serialization} — schedule files and shrink reports use the
     textual form ["run 3"], ["crash 0"], ["restart 0"], ["stop"], plus the
     memory-fault verbs ["lose 5"], ["stale 5"], ["corrupt 5"], ["stick 5"]
-    (verb + cell oid) and ["powerloss"], one decision per line. *)
+    (verb + cell oid), the network-fault verbs ["netdrop 0 3"],
+    ["netdup 0 3"], ["netdelay 0 3"], ["netcut 0 3"], ["netheal 0 3"]
+    (verb + src node + dst node) and ["powerloss"], one decision per
+    line. *)
 
 val decision_to_string : decision -> string
 
@@ -238,3 +247,62 @@ val stall_shard : shard:int -> from_clock:int -> until_clock:int -> t -> t
     a deterministically, uniformly slow client, as opposed to {!starve}'s
     probabilistic victim.  [pid] still runs when alone. *)
 val slow_domain : pid:int -> ?period:int -> t -> t
+
+(** {2 Network-fault nemeses} — fault injection into the {e links} of the
+    simulated message-passing substrate (docs/MODEL.md §14).  Net-fault
+    decisions are charged to the fault budget, recorded in traces, and
+    replay/shrink exactly like crashes; a decision with nothing to wound
+    is absorbed, so every recorded schedule stays playable.  Multi-link
+    faults (a symmetric partition, a reordering burst) are emitted one
+    decision per consultation through an internal queue, so each component
+    decision shrinks individually. *)
+
+(** Seeded partition storm: with probability [rate] (default 0.01) at each
+    decision point — at most [max_partitions] (default 3) per run, one
+    open at a time — isolate a uniformly chosen node of [victims]
+    (default: [nodes]) from every node of [nodes] by cutting both
+    directions of every link, healing them all [heal_after] (default 80)
+    clock ticks later.
+    @raise Invalid_argument if [nodes] or [victims] is empty. *)
+val partition_storm :
+  seed:int ->
+  nodes:int list ->
+  ?victims:int list ->
+  ?rate:float ->
+  ?heal_after:int ->
+  ?max_partitions:int ->
+  t ->
+  t
+
+(** One deterministic partition window: cut [victim] off from every node
+    of [peers] (both directions) once the clock reaches [at_clock], then
+    heal all those links [after] clock ticks later — "replica 2 is
+    unreachable from clock 40 to 120". *)
+val heal_after : victim:int -> peers:int list -> at_clock:int -> after:int -> t -> t
+
+(** Seeded duplicate-delivery flood: with probability [rate] (default
+    0.05) at each decision point — at most [max_dups] (default 16) per run
+    — duplicate the oldest in-flight message on a uniformly chosen loaded
+    link.  [inflight] lists the directed links currently carrying at least
+    one message ([Psnap_net.Net.inflight_links]). *)
+val dup_flood :
+  seed:int ->
+  inflight:(unit -> (int * int) array) ->
+  ?rate:float ->
+  ?max_dups:int ->
+  t ->
+  t
+
+(** Seeded lag spikes: with probability [rate] (default 0.02) at each
+    decision point — at most [max_spikes] (default 6) per run — emit a
+    burst of [burst] (default 4) delay faults against a uniformly chosen
+    loaded link, scrambling the delivery order of a whole protocol
+    round. *)
+val lag_spike :
+  seed:int ->
+  inflight:(unit -> (int * int) array) ->
+  ?rate:float ->
+  ?burst:int ->
+  ?max_spikes:int ->
+  t ->
+  t

@@ -147,6 +147,17 @@ let power_loss_dispatcher : (unit -> int) option ref = ref None
 
 let set_power_loss_dispatcher f = power_loss_dispatcher := Some f
 
+(* Network faults are applied by the message-passing transport, which owns
+   the link queues; [Psnap_net.Net] installs its dispatcher at module
+   initialization.  The dispatcher returns [true] when the fault was
+   injected, [false] when it was absorbed (no such link, no matching
+   in-flight message, or redundant cut/heal). *)
+let net_fault_dispatcher :
+    (Event.net_fault_kind -> src:int -> dst:int -> bool) option ref =
+  ref None
+
+let set_net_fault_dispatcher f = net_fault_dispatcher := Some f
+
 (* Performed by Mem_sim before executing a shared access.  The access itself
    is the code that runs after [continue]: suspension point first, operation
    on resumption. *)
@@ -313,6 +324,19 @@ let run ?(record_trace = false) ?(max_steps = 50_000_000) ?recover ~sched
           if t.record_trace then
             t.trace <-
               Event.Mem_fault { kind; oid; clock = t.clock } :: t.trace;
+          loop ()
+        | Scheduler.Net_fault { kind; src; dst } ->
+          (* Like a memory fault: advances the fault counter, not the
+             clock.  Absorbed (still recorded) when no transport is linked
+             or the link has nothing matching to wound. *)
+          t.faults <- t.faults + 1;
+          if t.faults > t.max_steps then raise (Out_of_steps t.clock);
+          (match !net_fault_dispatcher with
+          | Some apply -> ignore (apply kind ~src ~dst)
+          | None -> ());
+          if t.record_trace then
+            t.trace <-
+              Event.Net_fault { kind; src; dst; clock = t.clock } :: t.trace;
           loop ()
         | Scheduler.Power_loss ->
           (* Like a memory fault: advances the fault counter, not the

@@ -134,6 +134,20 @@ val set_mem_fault_dispatcher : (Event.fault_kind -> int -> bool) -> unit
 
 val set_power_loss_dispatcher : (unit -> int) -> unit
 
+(** {2 Network-fault dispatch}
+
+    Network faults ({!Scheduler.Net_fault}) are applied by the simulated
+    message-passing transport, which owns the link queues; [Psnap_net.Net]
+    installs its dispatcher here at initialization.  The dispatcher
+    returns [true] when the fault was injected, [false] when it was
+    absorbed (no such link, no matching in-flight message, or a redundant
+    cut/heal) — absorption keeps every recorded decision replayable under
+    ddmin.  A net fault with no dispatcher installed is recorded but
+    touches nothing. *)
+
+val set_net_fault_dispatcher :
+  (Event.net_fault_kind -> src:int -> dst:int -> bool) -> unit
+
 (** Globally unique id of the currently executing run, or [None] outside
     any run.  Serials are never reused, so {!Mem_sim}'s strict mode can
     tell a cell born in an earlier run from one of the current run.

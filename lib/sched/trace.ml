@@ -14,7 +14,9 @@ let steps (trace : Event.t list) =
   List.filter_map
     (function
       | Event.Step _ as e -> Some e
-      | Event.Crash _ | Event.Restart _ | Event.Mem_fault _ | Event.Power_loss _ -> None)
+      | Event.Crash _ | Event.Restart _ | Event.Mem_fault _ | Event.Power_loss _
+      | Event.Net_fault _ ->
+        None)
     trace
 
 let bump key m = Int_map.update key (fun n -> Some (1 + Option.value ~default:0 n)) m
@@ -23,7 +25,9 @@ let steps_by_pid trace =
   List.fold_left
     (fun m -> function
       | Event.Step { pid; _ } -> bump pid m
-      | Event.Crash _ | Event.Restart _ | Event.Mem_fault _ | Event.Power_loss _ -> m)
+      | Event.Crash _ | Event.Restart _ | Event.Mem_fault _ | Event.Power_loss _
+      | Event.Net_fault _ ->
+        m)
     Int_map.empty trace
   |> Int_map.bindings
 
@@ -34,7 +38,9 @@ let steps_by_object trace =
         Obj_map.update (oid, obj_name)
           (fun n -> Some (1 + Option.value ~default:0 n))
           m
-      | Event.Crash _ | Event.Restart _ | Event.Mem_fault _ | Event.Power_loss _ -> m)
+      | Event.Crash _ | Event.Restart _ | Event.Mem_fault _ | Event.Power_loss _
+      | Event.Net_fault _ ->
+        m)
     Obj_map.empty trace
   |> Obj_map.bindings
   |> List.map (fun ((oid, name), n) -> (oid, name, n))
@@ -48,7 +54,9 @@ let context_switches trace =
     | [] -> n
     | Event.Step { pid; _ } :: rest ->
       go (Some pid) (match last with Some p when p <> pid -> n + 1 | _ -> n) rest
-    | (Event.Crash _ | Event.Restart _ | Event.Mem_fault _ | Event.Power_loss _) :: rest ->
+    | ( Event.Crash _ | Event.Restart _ | Event.Mem_fault _
+      | Event.Power_loss _ | Event.Net_fault _ )
+      :: rest ->
       go last n rest
   in
   go None 0 trace
@@ -57,21 +65,35 @@ let crashes trace =
   List.filter_map
     (function
       | Event.Crash { pid; _ } -> Some pid
-      | Event.Step _ | Event.Restart _ | Event.Mem_fault _ | Event.Power_loss _ -> None)
+      | Event.Step _ | Event.Restart _ | Event.Mem_fault _ | Event.Power_loss _
+      | Event.Net_fault _ ->
+        None)
     trace
 
 let restarts trace =
   List.filter_map
     (function
       | Event.Restart { pid; _ } -> Some pid
-      | Event.Step _ | Event.Crash _ | Event.Mem_fault _ | Event.Power_loss _ -> None)
+      | Event.Step _ | Event.Crash _ | Event.Mem_fault _ | Event.Power_loss _
+      | Event.Net_fault _ ->
+        None)
     trace
 
 let mem_faults trace =
   List.filter_map
     (function
       | Event.Mem_fault { kind; oid; _ } -> Some (kind, oid)
-      | Event.Step _ | Event.Crash _ | Event.Restart _ | Event.Power_loss _ ->
+      | Event.Step _ | Event.Crash _ | Event.Restart _ | Event.Power_loss _
+      | Event.Net_fault _ ->
+        None)
+    trace
+
+let net_faults trace =
+  List.filter_map
+    (function
+      | Event.Net_fault { kind; src; dst; _ } -> Some (kind, src, dst)
+      | Event.Step _ | Event.Crash _ | Event.Restart _ | Event.Mem_fault _
+      | Event.Power_loss _ ->
         None)
     trace
 
@@ -90,7 +112,8 @@ let race_window ~from_clock ~until_clock trace =
     | Event.Crash { clock; _ }
     | Event.Restart { clock; _ }
     | Event.Mem_fault { clock; _ }
-    | Event.Power_loss { clock } ->
+    | Event.Power_loss { clock }
+    | Event.Net_fault { clock; _ } ->
       clock
   in
   List.filter
@@ -106,7 +129,9 @@ let schedule trace =
       | Event.Crash { pid; _ } -> Scheduler.Crash pid
       | Event.Restart { pid; _ } -> Scheduler.Restart pid
       | Event.Mem_fault { kind; oid; _ } -> Scheduler.Mem_fault { kind; oid }
-      | Event.Power_loss _ -> Scheduler.Power_loss)
+      | Event.Power_loss _ -> Scheduler.Power_loss
+      | Event.Net_fault { kind; src; dst; _ } ->
+        Scheduler.Net_fault { kind; src; dst })
     trace
 
 let pp ppf trace = List.iter (Fmt.pf ppf "%a@." Event.pp) trace

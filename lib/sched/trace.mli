@@ -32,6 +32,9 @@ val mem_faults : Event.t list -> (Event.fault_kind * int) list
 (** Number of power-loss events in the trace. *)
 val power_losses : Event.t list -> int
 
+(** Network-fault events as [(kind, src, dst)], in execution order. *)
+val net_faults : Event.t list -> (Event.net_fault_kind * int * int) list
+
 (** [race_window ~from_clock ~until_clock trace] — the events (faults
     included) whose clock lies in [[from_clock, until_clock]]: with the
     clocks of a {!Race.report}'s two accesses, the slice of the execution

@@ -1,0 +1,27 @@
+(** One-shot immediate snapshot (Borowsky–Gafni levels algorithm) — the
+    sibling object of reference [4] of the paper ("long-lived and adaptive
+    atomic snapshot and {e immediate} snapshot").
+
+    Each of [n] processes writes an input once and obtains a view — a set
+    of (process, value) pairs — such that:
+
+    - {b self-inclusion}: a process's view contains its own input;
+    - {b containment}: any two views are ordered by inclusion;
+    - {b immediacy}: if process [j]'s pair is in [i]'s view, then [j]'s
+      view is a subset of [i]'s.
+
+    Immediacy is strictly stronger than what a scan-based view gives (a
+    snapshot provides containment only): it is as if concurrent processes
+    write and snapshot {e simultaneously}.  Registers only; a process
+    terminates after at most [n] iterations of an [n]-collect — O(n²)
+    steps, one-shot. *)
+
+module Make (M : Psnap_mem.Mem_intf.S) : sig
+  type 'v t
+
+  val create : n:int -> 'v t
+
+  val participate : 'v t -> pid:int -> 'v -> (int * 'v) list
+  (** [participate t ~pid v] — post input [v] and return the view as
+      (pid, value) pairs sorted by pid.  At most one call per process. *)
+end

@@ -1,0 +1,25 @@
+(** The "simple variant of the original non-blocking snapshot algorithm"
+    that Section 3 of the paper starts from: updates write tagged values,
+    and a partial scan repeats collects until two consecutive ones are
+    identical — condition (1) only, {e no helping}.
+
+    Linearizable and non-blocking (a scan only retries because an update
+    finished), but {b not wait-free}: a slow scanner can be starved by
+    fast concurrent updates.  The test suite demonstrates exactly that
+    divergence under a starvation schedule, which is the paper's
+    motivation for the embedded-scan helping of Figures 1 and 3. *)
+
+exception Starved
+(** Raised by [scan] after [max_collects] collects (see
+    {!Make.set_max_collects}) — a non-blocking implementation must be
+    allowed to not terminate, but tests and benchmarks need to observe
+    that finitely. *)
+
+module Make (M : Psnap_mem.Mem_intf.S) : sig
+  include Snapshot_intf.S
+
+  val set_max_collects : 'a handle -> int -> unit
+  (** Give up (raise {!Starved}) after this many collects in a single
+      [scan]; [max_int] by default.  Observation hook for the
+      non-termination tests. *)
+end

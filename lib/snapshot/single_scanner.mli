@@ -1,0 +1,49 @@
+(** A single-writer, single-scanner partial snapshot in the style of Riany,
+    Shavit and Touitou [22] (related work, Section 5): updates cost O(1)
+    steps and a partial scan of [r] components costs [r + 1] steps — far
+    below the general algorithms — by {e restricting} the object: each
+    component is owned by one writer, and only one designated process may
+    scan.
+
+    The scanner bumps a sequence register; every update stamps the current
+    sequence number and carries the owner's previous pre-scan value.  A
+    scan at sequence [s] takes a value stamped [< s] at face value and
+    otherwise falls back to the carried [prev], which single-writership
+    guarantees was the component's value just before the scan point.
+
+    The fallback is exactly what breaks under multiple writers —
+    `test_single_scanner.ml` exhibits a concrete non-linearizable
+    multi-writer execution found by the exhaustive explorer.  This is the
+    structural reason the paper's general multi-writer algorithm needs
+    compare&swap and helping instead (Section 4).
+
+    Not an instance of {!Snapshot_intf.S}: [create] needs the ownership
+    map and the scanner's identity, which the generic signature cannot
+    express. *)
+
+module Make (M : Psnap_mem.Mem_intf.S) : sig
+  type 'a t
+
+  type 'a handle
+
+  val name : string
+
+  val create : owner:int array -> scanner:int -> 'a array -> 'a t
+  (** [create ~owner ~scanner init] — component [i] may only be updated by
+      process [owner.(i)]; only [scanner] may scan.  Raises [Invalid_argument]
+      on an [owner]/[init] length mismatch. *)
+
+  val handle : 'a t -> pid:int -> 'a handle
+
+  val update : 'a handle -> int -> 'a -> unit
+  (** O(1) steps.  Raises [Invalid_argument] if the caller does not own the
+      component. *)
+
+  val scan : 'a handle -> int array -> 'a array
+  (** [r + 1] steps.  Raises [Invalid_argument] if the caller is not the
+      designated scanner. *)
+
+  val update_unchecked : 'a handle -> int -> 'a -> unit
+  (** Same code path as [update] with the ownership check skipped — used by
+      the tests to demonstrate the multi-writer counterexample. *)
+end

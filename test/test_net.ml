@@ -1,0 +1,296 @@
+(* Tests of the message-passing backend (lib/net): ABD quorum registers
+   over the simulated transport.  Covers duplicate-delivery idempotence
+   of the phase messages (a dup-flooded run stays atomic), partition-heal
+   convergence (a replica cut for a long window catches up from the held
+   messages and never serves a stale regression), bounded unavailability
+   (a client cut off from every replica gets [Unavailable], not a
+   livelock, and trips its circuit breaker), replay determinism (the same
+   decision schedule reproduces the identical trace, network faults
+   included), and the committed E19 witness schedule, which must drive
+   the write-back-free weak read mode to a new/old inversion while the
+   sound ABD mode survives the very same schedule. *)
+
+open Psnap
+module A = Psnap.Net.Abd
+module T = Psnap.Net.Transport
+module NSnap = Psnap_snapshot.Partial_nonblocking.Make (A.Sim_mem)
+module NM = A.Sim_mem
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---- direct register workloads ---- *)
+
+(* One writer bumping a register, one reader polling it: any linearizable
+   single-writer register must show the reader a non-decreasing sequence. *)
+let monotone_workload ?(mode = A.Abd) ?(writes = 10) ?(reads = 20)
+    ?(record_trace = false) ~replicas ~sched () =
+  Metrics.reset_net ();
+  Sim.reset_prerun_oids ();
+  let cl = A.cluster ~mode ~clients:2 ~replicas () in
+  let r = NM.make ~name:"x" 0 in
+  let observed = ref [] in
+  let gave_up = ref 0 in
+  let attempt f = try f () with Psnap.Net.Unavailable _ -> incr gave_up in
+  let writer () =
+    for k = 1 to writes do
+      attempt (fun () -> NM.write r k)
+    done
+  in
+  let reader () =
+    for _ = 1 to reads do
+      attempt (fun () -> observed := NM.read r :: !observed)
+    done
+  in
+  let procs =
+    [|
+      A.wrap_client cl ~pid:0 writer;
+      A.wrap_client cl ~pid:1 reader;
+      A.replica_body cl ~index:0;
+      A.replica_body cl ~index:1;
+      (if replicas > 2 then A.replica_body cl ~index:2 else fun () -> ());
+    |]
+  in
+  let procs = Array.sub procs 0 (2 + replicas) in
+  let res = Sim.run ~record_trace ~sched procs in
+  (res, List.rev !observed, !gave_up)
+
+let is_monotone vs =
+  let rec go = function
+    | a :: (b :: _ as rest) -> a <= b && go rest
+    | _ -> true
+  in
+  go vs
+
+let all_nodes ~clients ~replicas = List.init (clients + replicas) Fun.id
+
+let test_dup_flood_idempotent () =
+  (* Duplicated phase messages must be absorbed by the tag comparison on
+     Put and the per-request reply filtering on Get: reads stay atomic. *)
+  let hit = ref false in
+  for seed = 0 to 9 do
+    let sched =
+      Scheduler.dup_flood ~seed ~inflight:T.Sim.inflight_links ~rate:0.3
+        (Scheduler.random ~seed ())
+    in
+    let _, observed, gave_up =
+      monotone_workload ~replicas:3 ~sched ()
+    in
+    check_int "no faults beyond duplication: nothing gives up" 0 gave_up;
+    check_bool "reads monotone under duplicate delivery" true
+      (is_monotone observed);
+    let n = Metrics.net () in
+    if n.Metrics.dups > 0 then begin
+      hit := true;
+      check_bool "duplicates really delivered" true
+        (n.Metrics.delivers > n.Metrics.sends - n.Metrics.drops)
+    end
+  done;
+  check_bool "campaign injected duplicates" true !hit
+
+let test_partition_heal_convergence () =
+  (* Replica 2 is unreachable for a long window: writes land on the
+     remaining majority, the held messages drain at heal, and no read —
+     before, during, or after — may regress.  The write-back repairs any
+     quorum that includes the caught-up replica. *)
+  let clients = 2 and replicas = 3 in
+  let victim = clients + 2 in
+  for seed = 0 to 9 do
+    let sched =
+      Scheduler.heal_after ~victim
+        ~peers:(all_nodes ~clients ~replicas)
+        ~at_clock:40 ~after:400
+        (Scheduler.random ~seed ())
+    in
+    let _, observed, gave_up =
+      monotone_workload ~writes:10 ~reads:30 ~replicas ~sched ()
+    in
+    check_int "majority stays reachable: nothing gives up" 0 gave_up;
+    check_bool "reads monotone across cut and heal" true
+      (is_monotone observed);
+    let n = Metrics.net () in
+    check_bool "the window actually cut links" true (n.Metrics.cuts > 0);
+    check_bool "and healed them" true (n.Metrics.heals > 0)
+  done
+
+let test_quorum_loss_unavailable_not_hang () =
+  (* Client 0 is cut off from everyone before its first operation: every
+     phase must exhaust its bounded attempts and surface [Unavailable]
+    (the run terminating at all is the no-livelock claim), and the
+     repeated failures must trip the client's circuit breaker. *)
+  Metrics.reset_net ();
+  Metrics.reset_serving ();
+  Sim.reset_prerun_oids ();
+  let clients = 1 and replicas = 3 in
+  let cl = A.cluster ~clients ~replicas () in
+  let r = NM.make ~name:"x" 0 in
+  let gave_up = ref 0 in
+  let body () =
+    for k = 1 to 3 do
+      try NM.write r k
+      with Psnap.Net.Unavailable _ -> incr gave_up
+    done
+  in
+  let sched =
+    Scheduler.heal_after ~victim:0
+      ~peers:(all_nodes ~clients ~replicas)
+      ~at_clock:1 ~after:10_000_000
+      (Scheduler.round_robin ())
+  in
+  let procs =
+    [|
+      A.wrap_client cl ~pid:0 body;
+      A.replica_body cl ~index:0;
+      A.replica_body cl ~index:1;
+      A.replica_body cl ~index:2;
+    |]
+  in
+  let _ = Sim.run ~sched procs in
+  check_int "all three writes gave up" 3 !gave_up;
+  let n = Metrics.net () in
+  check_bool "unavailability counted" true (n.Metrics.unavailable >= 3);
+  let sv = Metrics.serving () in
+  check_bool "breaker opened" true (sv.Metrics.breaker_opens >= 1)
+
+let trace_signature (res : Sim.result) =
+  List.map
+    (function
+      | Event.Step { pid; op; clock; _ } -> (pid, op, clock)
+      | Event.Crash { pid; clock } -> (pid, Event.Read, -clock)
+      | Event.Restart { pid; clock; _ } -> (pid, Event.Write, -clock)
+      | Event.Mem_fault { oid; clock; _ } -> (oid, Event.Cas, -clock)
+      | Event.Power_loss { clock } -> (-1, Event.Faa, -clock)
+      | Event.Net_fault { src; dst; clock; _ } ->
+        (src + dst, Event.Faa, -clock))
+    res.Sim.trace
+
+let test_replay_deterministic () =
+  (* Record a partition-stormed run, replay its decision schedule: the
+     trace — fault injections included — must be identical. *)
+  let stormy seed =
+    Scheduler.partition_storm ~seed
+      ~nodes:(all_nodes ~clients:2 ~replicas:3)
+      ~rate:0.05 ~heal_after:300
+      (Scheduler.random ~seed ())
+  in
+  let record =
+    let sched = stormy 7 in
+    let res, _, _ =
+      monotone_workload ~record_trace:true ~replicas:3 ~sched ()
+    in
+    res
+  in
+  let decisions = Trace.schedule record.Sim.trace in
+  check_bool "schedule non-empty" true (decisions <> []);
+  let replayed =
+    let sched =
+      Scheduler.replay_decisions ~lenient:true
+        ~fallback:(Scheduler.round_robin ()) decisions
+    in
+    let res, _, _ =
+      monotone_workload ~record_trace:true ~replicas:3 ~sched ()
+    in
+    res
+  in
+  check_bool "identical trace on replay" true
+    (trace_signature record = trace_signature replayed)
+
+(* ---- the committed E19 witness ---- *)
+
+let e19_witness =
+  if Sys.file_exists "schedules/e19-abd-weak.sched" then
+    "schedules/e19-abd-weak.sched"
+  else "../schedules/e19-abd-weak.sched"
+
+(* Mirror of bin/simulate.ml's run_net workload at the witness's
+   parameters: nonblocking snapshot, 3 updaters x 12 updates, 3 scanners
+   x 8 scans, m = 4, r = 4, 3 replicas. *)
+let replay_witness ~mode =
+  let updaters = 3 and scanners = 3 and updates = 12 and scans = 8 in
+  let m = 4 and r = 4 and replicas = 3 in
+  let n = updaters + scanners in
+  let init = Array.init m (fun i -> -(i + 1)) in
+  let decisions = Shrink.load e19_witness in
+  check_bool "witness committed and shrunk" true
+    (decisions <> [] && List.length decisions <= 600);
+  let sched =
+    Scheduler.replay_decisions ~lenient:true
+      ~fallback:(Scheduler.round_robin ()) decisions
+  in
+  let hist = History.create ~now:Sim.mark () in
+  Sim.reset_prerun_oids ();
+  let cl = A.cluster ~mode ~clients:n ~replicas () in
+  let t = NSnap.create ~n (Array.copy init) in
+  let attempt f = try f () with Psnap.Net.Unavailable _ -> () in
+  let updater pid () =
+    let h = NSnap.handle t ~pid in
+    for k = 1 to updates do
+      let i = (k + (pid * 7)) mod m in
+      let v = (pid * 1_000_000) + 10_000 + k in
+      attempt (fun () ->
+          ignore
+            (History.record hist ~pid (Snapshot_spec.Update (i, v))
+               (fun () ->
+                 NSnap.update h i v;
+                 Snapshot_spec.Ack)))
+    done
+  in
+  let scanner pid () =
+    let h = NSnap.handle t ~pid in
+    let idxs =
+      Array.init r (fun k -> ((pid - updaters) + (k * (m / max r 1))) mod m)
+      |> Array.to_list |> List.sort_uniq compare |> Array.of_list
+    in
+    for _ = 1 to scans do
+      attempt (fun () ->
+          ignore
+            (History.record hist ~pid (Snapshot_spec.Scan idxs) (fun () ->
+                 Snapshot_spec.Vals (NSnap.scan h idxs))))
+    done
+  in
+  let procs =
+    Array.init (n + replicas) (fun pid ->
+        if pid < n then
+          A.wrap_client cl ~pid
+            (if pid < updaters then updater pid else scanner pid)
+        else A.replica_body cl ~index:(pid - n))
+  in
+  let recover =
+    Some
+      (fun ~pid ~incarnation:_ ->
+        if pid < n then A.close_client cl ~pid
+        else A.replica_body cl ~index:(pid - n))
+  in
+  let _ = Sim.run ?recover ~sched procs in
+  Snapshot_spec.check_observations ~init (History.entries hist)
+
+let test_e19_witness_kills_weak_mode () =
+  let viols = replay_witness ~mode:A.Weak in
+  check_bool "weak reads produce a new/old inversion" true (viols <> [])
+
+let test_e19_witness_clean_on_abd () =
+  let viols = replay_witness ~mode:A.Abd in
+  check_bool "the write-back survives the same schedule" true (viols = [])
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "abd",
+        [
+          Alcotest.test_case "dup-flood idempotent (10 seeds)" `Quick
+            test_dup_flood_idempotent;
+          Alcotest.test_case "partition-heal convergence (10 seeds)" `Quick
+            test_partition_heal_convergence;
+          Alcotest.test_case "quorum loss: Unavailable, not a hang" `Quick
+            test_quorum_loss_unavailable_not_hang;
+          Alcotest.test_case "replay deterministic" `Quick
+            test_replay_deterministic;
+        ] );
+      ( "e19",
+        [
+          Alcotest.test_case "witness kills weak mode" `Quick
+            test_e19_witness_kills_weak_mode;
+          Alcotest.test_case "witness clean on abd" `Quick
+            test_e19_witness_clean_on_abd;
+        ] );
+    ]
