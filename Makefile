@@ -9,7 +9,7 @@ test:
 # Static analysis (docs/MODEL.md, "Memory discipline" and §12): the
 # memory-discipline rules R1–R3 over the algorithm libraries plus the
 # domain-sharing rules R4–R6 over the runtime layers (lib/runtime, lib/mem,
-# lib/persist, lib/net).  Fails on any
+# lib/persist, lib/net, lib/txn).  Fails on any
 # non-waived finding; the fixture check confirms the rules still fire on
 # the intentionally racy files under test/fixtures.
 lint:
@@ -178,6 +178,34 @@ chaos-net:
 	  -m 64 -r 8 --domains 2 --mix 1u+1s --scan window --duration 500ms \
 	  --warmup 0.1s --seed 42 --json $(ARTIFACTS)/loadgen-net.json
 
+# Transaction campaign (E20, docs/MODEL.md §15): the MVCC
+# snapshot-isolation layer under chaos / starvation / crash-restart
+# nemeses with the SI observation oracle on; the last-writer-wins run
+# must violate snapshot isolation (its shrunk witness lands in
+# _artifacts/; the committed reference witness lives in schedules/ and
+# is replayed by dune runtest); the loadgen run prices a zipf
+# read-mostly transaction mix and reports the abort rate.
+# CHAOS_TXN_SEED lets CI sweep seeds.
+CHAOS_TXN_SEED ?= 0
+chaos-txn:
+	dune build bin/simulate.exe bin/loadgen.exe
+	mkdir -p $(ARTIFACTS)
+	dune exec bin/simulate.exe -- --impl txn --nemesis chaos \
+	  --seed $(CHAOS_TXN_SEED) --seeds 25 --check \
+	  --json $(ARTIFACTS)/chaos-txn-fcw-$(CHAOS_TXN_SEED).json
+	dune exec bin/simulate.exe -- --impl txn --nemesis crash-restart \
+	  --seed $(CHAOS_TXN_SEED) --seeds 10 --check \
+	  --json $(ARTIFACTS)/chaos-txn-cr-$(CHAOS_TXN_SEED).json
+	dune exec bin/simulate.exe -- --impl txn -m 4 -r 2 --updaters 2 \
+	  --updates 3 --scanners 1 --scans 2 --sched random --txn-mode lww \
+	  --seed $(CHAOS_TXN_SEED) --seeds 50 --check --expect-violations \
+	  --shrink \
+	  --replay-file $(ARTIFACTS)/e20-txn-lww-$(CHAOS_TXN_SEED).sched \
+	  --json $(ARTIFACTS)/chaos-txn-lww-$(CHAOS_TXN_SEED).json
+	dune exec bin/loadgen.exe -- --impl txn -m 64 -r 8 --domains 2 \
+	  --dist zipf --mix 10:90 --duration 500ms --warmup 0.1s --seed 42 \
+	  --json $(ARTIFACTS)/loadgen-txn.json
+
 # The artifacts referenced by EXPERIMENTS.md.
 pin-outputs:
 	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
@@ -187,4 +215,4 @@ clean:
 	dune clean
 	rm -rf $(ARTIFACTS)
 
-.PHONY: all test lint race bench chaos chaos-mem chaos-runtime chaos-durable chaos-net loadgen-smoke examples pin-outputs clean
+.PHONY: all test lint race bench chaos chaos-mem chaos-runtime chaos-durable chaos-net chaos-txn loadgen-smoke examples pin-outputs clean

@@ -26,7 +26,45 @@ let flat_impls : (string * (module Snapshot.S)) list =
 
 let impl_names =
   List.map fst flat_impls
-  @ [ "sharded"; "sharded-relaxed"; "resilient"; "durable" ]
+  @ [ "sharded"; "sharded-relaxed"; "resilient"; "durable"; "txn" ]
+
+(* The MVCC transaction layer behind the Snapshot.S face: every update is
+   a read-modify-write transaction retried until it commits (conflict and
+   busy aborts land in the txn metrics, and each retry pays a fresh begin
+   and validation), every scan a read-only transaction — one partial scan
+   over the declared read set, never a validation, never a retry.  Feeding
+   this to the unchanged load generator prices snapshot-isolation commits
+   against plain fig3 operations (EXPERIMENTS.md E20). *)
+module Mc_txn_snap : Snapshot.S = struct
+  module T = Mc_txn_fig3
+
+  type 'a t = 'a T.t
+
+  type 'a handle = 'a T.handle
+
+  let name = T.name
+
+  let create ~n init = T.create ~n init
+
+  let handle t ~pid = T.handle t ~pid
+
+  let update h i v =
+    let rec go () =
+      let x = T.begin_ h in
+      ignore (T.read x i);
+      T.write x i v;
+      match T.commit x with Ok _ -> () | Error _ -> go ()
+    in
+    go ()
+
+  let scan h idxs =
+    let x = T.begin_ h in
+    let vs = T.read_many x idxs in
+    ignore (T.commit x);
+    vs
+
+  let last_scan_collects _ = 1
+end
 
 let impl_of ~shards ~partition ~open_shard name : (module Snapshot.S) =
   match name with
@@ -77,6 +115,7 @@ let impl_of ~shards ~partition ~open_shard name : (module Snapshot.S) =
        before it acknowledges.  Measured against plain fig3, this prices
        durability in the latency histograms (EXPERIMENTS.md E18). *)
     (module Mc_durable_fig3)
+  | "txn" -> (module Mc_txn_snap)
   | _ -> (
     match List.assoc_opt name flat_impls with
     | Some m -> m
@@ -209,6 +248,7 @@ let run impl_name mem_backend replicas shards partition_name m r domains
   in
   Metrics.reset_serving ();
   Metrics.reset_net ();
+  Metrics.reset_txn ();
   let rep = Loadgen.run (module S) cfg in
   teardown ();
   (* serving-layer counters (sharded validation rounds, resilient breaker
@@ -265,6 +305,9 @@ let run impl_name mem_backend replicas shards partition_name m r domains
       sv.Metrics.scan_rounds sv.Metrics.scan_retries sv.Metrics.degraded_scans
       sv.Metrics.breaker_opens sv.Metrics.breaker_half_opens
       sv.Metrics.breaker_closes;
+  (* plain refs bumped from many domains: approximate under contention *)
+  let tm = Metrics.txn () in
+  if tm.Metrics.begins > 0 then Fmt.pr "%a@." Metrics.pp_txn tm;
   Option.iter
     (fun path ->
       write_json path
@@ -303,6 +346,14 @@ let run impl_name mem_backend replicas shards partition_name m r domains
             ( "mean_quorum_wait",
               Printf.sprintf "%.2f" (Metrics.mean_quorum_wait nv) );
             ("unavailable_ops", string_of_int nv.Metrics.unavailable);
+            ("txn_begins", string_of_int tm.Metrics.begins);
+            ("txn_ro_commits", string_of_int tm.Metrics.ro_commits);
+            ("txn_rw_commits", string_of_int tm.Metrics.rw_commits);
+            ( "txn_retries",
+              string_of_int (tm.Metrics.conflicts + tm.Metrics.busy_aborts)
+            );
+            ( "txn_abort_rate",
+              Printf.sprintf "%.4f" (Metrics.txn_abort_rate tm) );
           ]);
       Printf.printf "json summary written to %s\n" path)
     json_file;

@@ -36,7 +36,8 @@ let impls : (string * (module Snapshot.S)) list =
   ]
 
 let impl_names =
-  List.map fst impls @ [ "sharded"; "sharded-relaxed"; "resilient"; "durable" ]
+  List.map fst impls
+  @ [ "sharded"; "sharded-relaxed"; "resilient"; "durable"; "txn" ]
 
 (* sharded implementations take their geometry from --shards, so they are
    built at runtime rather than listed statically *)
@@ -742,6 +743,286 @@ let run_durable m r updaters updates scanners scans sched_name seed_base
   end;
   if !fail then 1 else 0
 
+(* The MVCC transaction layer gets a dedicated campaign with its own
+   oracle: updaters run read-modify-write transactions, scanners run
+   read-only transactions over a declared read set, every transaction
+   begun is harvested after the run (outcome is a mutable field, so even a
+   transaction whose fiber crashed reports its final state), and the
+   collected observations go through the snapshot-isolation checker
+   [Si_check.check] — visibility per begin snapshot plus no lost updates.
+   --txn-mode lww (skip first-committer-wins validation) exists to show
+   the oracle catches lost updates; pair with --expect-violations, and
+   with --shrink to distill the committed e20 witness. *)
+let run_txn m r updaters updates scanners scans sched_name seed_base seeds
+    nemesis_name mem_kinds mem_rate mem_max txn_mode expect_violations
+    shrink replay_file json_file =
+  let module T = Sim_txn_fig3 in
+  let mode =
+    match Txn.mode_of_string txn_mode with
+    | Some mode -> mode
+    | None ->
+      Printf.eprintf "unknown --txn-mode %S (choose from: fcw, lww)\n"
+        txn_mode;
+      exit 2
+  in
+  if r > m then (
+    Printf.eprintf "r (%d) must be <= m (%d)\n" r m;
+    exit 2);
+  let n = updaters + scanners in
+  let scanner_pids = List.init scanners (fun j -> updaters + j) in
+  let updater_pids = List.init updaters (fun i -> i) in
+  let init = Array.init m (fun i -> -(i + 1)) in
+  Mem.Sim.set_fault_tracking true;
+  Metrics.reset_mem_faults ();
+  Metrics.reset_txn ();
+  let violations = ref 0 in
+  let samples = ref [] in
+  let total_crashes = ref 0 in
+  let total_restarts = ref 0 in
+  let total_steps = ref 0 in
+  let failing_schedule = ref None in
+  let run_once ~record_trace ~sched =
+    let rec_ = Metrics.create () in
+    Sim.reset_prerun_oids ();
+    let t = T.create ~mode ~n (Array.copy init) in
+    (* Every transaction ever begun, plus observations synthesized by
+       [resume] for commits rolled forward past a crash; harvested into
+       the oracle's input after the run ends. *)
+    let txns = ref [] in
+    let resumed = ref [] in
+    let recover_pid h =
+      match T.resume h with
+      | Some obs -> resumed := obs :: !resumed
+      | None -> ()
+    in
+    let updater ~incarnation pid () =
+      let h = T.handle t ~pid in
+      if incarnation > 1 then recover_pid h;
+      for k = 1 to updates do
+        let i = (k + (pid * 7)) mod m in
+        let v = (pid * 1_000_000) + (incarnation * 10_000) + k in
+        Metrics.measure rec_ ~pid ~kind:"rw-txn" (fun () ->
+            let x = T.begin_ h in
+            txns := x :: !txns;
+            (* read-modify-write: the canonical lost-update shape *)
+            ignore (T.read x i);
+            T.write x i v;
+            ignore (T.commit x))
+      done
+    in
+    let scanner ~incarnation pid () =
+      let h = T.handle t ~pid in
+      (* a dead scanner's announce slot pins the pruning watermark; clear
+         it like a committer would *)
+      if incarnation > 1 then recover_pid h;
+      let idxs =
+        Array.init r (fun k -> ((pid - updaters) + (k * (m / max r 1))) mod m)
+        |> Array.to_list |> List.sort_uniq compare |> Array.of_list
+      in
+      for _ = 1 to scans do
+        Metrics.measure rec_ ~pid ~kind:"ro-txn" (fun () ->
+            let x = T.begin_ h in
+            txns := x :: !txns;
+            ignore (T.read_many x idxs);
+            ignore (T.commit x))
+      done
+    in
+    let body ~incarnation pid =
+      if pid < updaters then updater ~incarnation pid
+      else scanner ~incarnation pid
+    in
+    let procs = Array.init n (fun pid -> body ~incarnation:1 pid) in
+    let recover = Some (fun ~pid ~incarnation -> body ~incarnation pid) in
+    let res = Sim.run ~record_trace ?recover ~sched procs in
+    let obs =
+      (* the txn record is richer (it has the reads); a resume observation
+         of the same txid only fills in a crashed fiber's silence *)
+      let seen = Hashtbl.create 64 in
+      List.filter
+        (fun (o : int Si_check.obs) ->
+          if Hashtbl.mem seen o.Si_check.txid then false
+          else begin
+            Hashtbl.add seen o.Si_check.txid ();
+            true
+          end)
+        (List.filter_map T.observation !txns @ !resumed)
+    in
+    let viols = Si_check.check ~init obs in
+    (res, viols, Metrics.samples rec_)
+  in
+  let sched_for ~seed =
+    let w = sched_of sched_name ~scanner_pids ~updater_pids ~seed in
+    let w = nemesis_of nemesis_name ~seed w in
+    match mem_kinds with
+    | Some kinds ->
+      Scheduler.mem_storm ~seed ~kinds ~rate:mem_rate ~max_faults:mem_max w
+    | None -> w
+  in
+  let fallback = Scheduler.round_robin () in
+  let replay_sched decisions =
+    Scheduler.replay_decisions ~lenient:true ~fallback decisions
+  in
+  let fails decisions =
+    match run_once ~record_trace:false ~sched:(replay_sched decisions) with
+    | _, viols, _ -> viols <> []
+    | exception _ -> true
+  in
+  let account (res : Sim.result) viols smpls =
+    samples := smpls :: !samples;
+    total_crashes := !total_crashes + List.length res.crashed;
+    total_restarts :=
+      !total_restarts
+      + Array.fold_left (fun a i -> a + (i - 1)) 0 res.incarnations;
+    total_steps := !total_steps + res.clock;
+    violations := !violations + List.length viols
+  in
+  let pp_viol = Si_check.pp_violation Format.pp_print_int in
+  let note_failure ~label res viols =
+    if viols <> [] then begin
+      Printf.printf "%s: %d violations\n" label (List.length viols);
+      List.iter (fun v -> Fmt.pr "  %a@." pp_viol v) viols;
+      if shrink && !failing_schedule = None then
+        failing_schedule := Some (Trace.schedule res.Sim.trace)
+    end
+  in
+  let replaying = replay_file <> None && not shrink in
+  let runs =
+    if replaying then begin
+      let path = Option.get replay_file in
+      let decisions = Shrink.load path in
+      Printf.printf "replaying %d decisions from %s\n"
+        (List.length decisions) path;
+      let res, viols, smpls =
+        run_once ~record_trace:false ~sched:(replay_sched decisions)
+      in
+      account res viols smpls;
+      List.iter (fun v -> Fmt.pr "  %a@." pp_viol v) viols;
+      1
+    end
+    else begin
+      for s = 0 to seeds - 1 do
+        let seed = seed_base + s in
+        match run_once ~record_trace:shrink ~sched:(sched_for ~seed) with
+        | res, viols, smpls ->
+          account res viols smpls;
+          note_failure ~label:(Printf.sprintf "seed %d" seed) res viols
+        | exception e ->
+          incr violations;
+          Printf.printf "seed %d: harness crash: %s\n" seed
+            (Printexc.to_string e)
+      done;
+      seeds
+    end
+  in
+  (* Campaign counters, snapshotted before the shrinker's oracle runs pile
+     more on top. *)
+  let tm = Metrics.txn () in
+  let shrunk_len =
+    match !failing_schedule with
+    | None -> None
+    | Some schedule ->
+      if not (fails schedule) then begin
+        Printf.printf
+          "shrink: recorded schedule does not reproduce deterministically; \
+           skipping\n";
+        None
+      end
+      else begin
+        let minimal, calls = Shrink.minimize ~oracle:fails schedule in
+        Printf.printf "shrink: %d decisions -> %d minimal (%d oracle runs)\n"
+          (List.length schedule) (List.length minimal) calls;
+        List.iter
+          (fun d -> print_endline (Scheduler.decision_to_string d))
+          minimal;
+        Option.iter
+          (fun path ->
+            Shrink.save path minimal;
+            Printf.printf "shrink: minimal schedule saved to %s\n" path)
+          replay_file;
+        Some (List.length minimal)
+      end
+  in
+  let all = List.concat !samples in
+  let of_kind k = List.filter (fun (s : Metrics.sample) -> s.kind = k) all in
+  let row kind =
+    let ss = of_kind kind in
+    [
+      kind;
+      string_of_int (List.length ss);
+      Printf.sprintf "%.1f" (Metrics.mean_steps ss);
+      string_of_int (Metrics.max_steps ss);
+    ]
+  in
+  Table.print
+    (Table.make
+       ~title:
+         (Printf.sprintf
+            "%s: m=%d r=%d %d updaters x %d, %d scanners x %d, %s, %d \
+             runs, mode %s%s"
+            T.name m r updaters updates scanners scans sched_name runs
+            (Txn.mode_to_string mode)
+            (if nemesis_name <> "none" then ", nemesis " ^ nemesis_name
+             else ""))
+       ~header:[ "operation"; "count"; "mean steps"; "worst steps" ]
+       [ row "rw-txn"; row "ro-txn" ]);
+  Printf.printf "faults: %d crashes, %d restarts\n" !total_crashes
+    !total_restarts;
+  Fmt.pr "%a@." Metrics.pp_txn tm;
+  let mf = Metrics.mem_faults () in
+  if Metrics.total_injected mf > 0 then Fmt.pr "%a@." Metrics.pp_mem_faults mf;
+  Option.iter
+    (fun path ->
+      write_json path
+        [
+          ("impl", Printf.sprintf "%S" T.name);
+          ("txn_mode", Printf.sprintf "%S" (Txn.mode_to_string mode));
+          ("sched", Printf.sprintf "%S" sched_name);
+          ("nemesis", Printf.sprintf "%S" nemesis_name);
+          ("seed_base", string_of_int seed_base);
+          ("runs", string_of_int runs);
+          ("steps", string_of_int !total_steps);
+          ("crashes", string_of_int !total_crashes);
+          ("restarts", string_of_int !total_restarts);
+          ("violations", string_of_int !violations);
+          ("begins", string_of_int tm.Metrics.begins);
+          ("ro_commits", string_of_int tm.Metrics.ro_commits);
+          ("rw_commits", string_of_int tm.Metrics.rw_commits);
+          ("conflicts", string_of_int tm.Metrics.conflicts);
+          ("busy_aborts", string_of_int tm.Metrics.busy_aborts);
+          ("voluntary_aborts", string_of_int tm.Metrics.voluntary_aborts);
+          ("abort_rate", Printf.sprintf "%.4f" (Metrics.txn_abort_rate tm));
+          ("lww_overwrites", string_of_int tm.Metrics.lww_overwrites);
+          ("resumes", string_of_int tm.Metrics.resumes);
+          ("pruned_versions", string_of_int tm.Metrics.pruned_versions);
+          ( "shrunk_schedule_len",
+            match shrunk_len with Some l -> string_of_int l | None -> "null"
+          );
+        ];
+      Printf.printf "json summary written to %s\n" path)
+    json_file;
+  if expect_violations then
+    if !violations > 0 then begin
+      Printf.printf
+        "checker: %d violations (expected: last-writer-wins skips \
+         first-committer-wins validation)\n"
+        !violations;
+      0
+    end
+    else begin
+      Printf.printf "checker: NO violations, but --expect-violations was given\n";
+      1
+    end
+  else if !violations = 0 then begin
+    Printf.printf
+      "checker: all %d executions snapshot-isolated (SI observation check)\n"
+      runs;
+    0
+  end
+  else begin
+    Printf.printf "checker: %d VIOLATIONS\n" !violations;
+    1
+  end
+
 (* The distributed backend gets a dedicated campaign: the workload's
    shared cells are ABD quorum registers served by [replicas] replica
    fibers over the simulated message transport, so each run schedules
@@ -1056,9 +1337,11 @@ let rec run impl_name shards m r updaters updates scanners scans sched_name
     seed_base seeds check crash_at nemesis_name mem_faults_arg mem_rate
     mem_max expect_violations shrink replay_file json_file stick_epoch
     stall_shard slow_pid max_rounds power_loss_arg checkpoint_every wal_mode
-    mem_backend replicas net_nemesis_name net_mode_name net_rate =
+    mem_backend replicas net_nemesis_name net_mode_name net_rate txn_mode =
   if mem_backend = "net" then begin
-    if List.mem impl_name [ "resilient"; "durable"; "sharded"; "sharded-relaxed" ]
+    if
+      List.mem impl_name
+        [ "resilient"; "durable"; "sharded"; "sharded-relaxed"; "txn" ]
     then begin
       Printf.eprintf "--mem net does not support --impl %s\n" impl_name;
       exit 2
@@ -1082,6 +1365,12 @@ let rec run impl_name shards m r updaters updates scanners scans sched_name
       (mem_kinds_of mem_faults_arg)
       mem_rate mem_max power_loss_arg checkpoint_every wal_mode
       expect_violations shrink replay_file json_file
+  else if impl_name = "txn" then
+    run_txn m r updaters updates scanners scans sched_name seed_base seeds
+      nemesis_name
+      (mem_kinds_of mem_faults_arg)
+      mem_rate mem_max txn_mode expect_violations shrink replay_file
+      json_file
   else run_flat impl_name shards m r updaters updates scanners scans
     sched_name seed_base seeds check crash_at nemesis_name mem_faults_arg
     mem_rate mem_max expect_violations shrink replay_file json_file
@@ -1608,6 +1897,17 @@ let net_rate =
     & info [ "net-rate" ] ~docv:"P"
         ~doc:"Per-decision-point injection probability for --net-nemesis.")
 
+let txn_mode =
+  Arg.(
+    value & opt string "fcw"
+    & info [ "txn-mode" ] ~docv:"MODE"
+        ~doc:
+          "($(b,--impl txn) only) $(b,fcw) (sound: first-committer-wins \
+           write-write validation at commit) or $(b,lww) (deliberately \
+           unsound last-writer-wins: commit skips validation — exists to \
+           show the snapshot-isolation oracle catches lost updates; pair \
+           with $(b,--expect-violations)).")
+
 let cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"drive partial snapshot workloads in the simulator")
@@ -1617,6 +1917,7 @@ let cmd =
       $ mem_faults_arg $ mem_rate $ mem_max $ expect_violations $ shrink
       $ replay_file $ json_file $ stick_epoch $ stall_shard $ slow_pid
       $ max_rounds $ power_loss_arg $ checkpoint_every $ wal_mode
-      $ mem_backend $ replicas $ net_nemesis $ net_mode $ net_rate)
+      $ mem_backend $ replicas $ net_nemesis $ net_mode $ net_rate
+      $ txn_mode)
 
 let () = exit (Cmd.eval' cmd)

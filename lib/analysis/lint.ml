@@ -19,7 +19,8 @@ type ruleset = Algorithm | Runtime | Exempt
 
 let algorithm_dirs = [ "lib/snapshot"; "lib/activeset"; "lib/apps" ]
 
-let runtime_dirs = [ "lib/runtime"; "lib/mem"; "lib/persist"; "lib/net" ]
+let runtime_dirs =
+  [ "lib/runtime"; "lib/mem"; "lib/persist"; "lib/net"; "lib/txn" ]
 
 (* Path components, so "x/lib/snapshot/foo.ml" matches "lib/snapshot". *)
 let ruleset_for_path path =

@@ -1,0 +1,36 @@
+(** A wait-free linearizable counter with atomic multi-counter reads — one
+    of the "concurrent object constructions" the paper's introduction cites
+    snapshots for [8, 17].
+
+    Each process accumulates its contribution in its own component
+    (single-writer, so a plain read-modify-write is safe); a read scans all
+    contributions atomically and sums them.  Several counters can share one
+    snapshot object, and {!Make.read_many} returns an atomic view
+    {e across} counters — a consistent sum over any subset, which is
+    exactly a partial scan, and impossible with independent atomic
+    integers. *)
+
+module Make (S : Psnap.Snapshot.S) : sig
+  type t
+
+  type handle
+
+  val create : n:int -> counters:int -> unit -> t
+  (** [create ~n ~counters ()] — [counters] counters shared by [n]
+      processes, in one snapshot object of [n * counters] components. *)
+
+  val handle : t -> pid:int -> handle
+
+  val add : handle -> counter:int -> int -> unit
+  (** Add a (possibly negative) delta to one counter.  Out-of-range
+      counter indices raise [Invalid_argument]. *)
+
+  val incr : handle -> counter:int -> unit
+
+  val read : handle -> counter:int -> int
+  (** Atomic read of one counter: a partial scan of its [n] slots. *)
+
+  val read_many : handle -> int list -> (int * int) list
+  (** Atomic read of several counters at one instant — one partial scan
+      over all their slots; results align with the request. *)
+end

@@ -1,0 +1,44 @@
+(** Commit–adopt built on a partial snapshot object — the paper's
+    introduction cites snapshots as "a building block for ... randomized
+    consensus [6, 7]"; commit–adopt (Gafni's graded agreement) is the
+    canonical such block, and is used by [examples/consensus.ml] to build a
+    full randomized consensus.
+
+    {!Make.propose} grades its outcome, with the wait-free guarantees:
+
+    - {b validity}: the carried value is some process's proposal;
+    - {b convergence}: if every participant proposes the same [v], every
+      outcome is [Commit v];
+    - {b agreement}: if {e any} process returns [Commit w], every other
+      process returns [Commit w] or [Adopt w] — never [Free _] — so a
+      protocol that re-proposes the carried value can only ever commit
+      [w];
+    - [Free v] (no grade-1 evidence seen) tells a randomized consensus
+      layer it is safe to replace [v] by a coin flip.
+
+    The two rounds live in one partial snapshot object of [2n] components —
+    each round's scan is a declared-subset partial scan of [n] of them,
+    exactly the access pattern partial snapshots make cheap. *)
+
+module Make (S : Psnap.Snapshot.S) : sig
+  type 'v t
+
+  type 'v handle
+
+  type 'v outcome =
+    | Commit of 'v  (** decided *)
+    | Adopt of 'v  (** must carry this value forward *)
+    | Free of 'v
+        (** own value; no one can have committed — a coin may replace it *)
+
+  val value_of : 'v outcome -> 'v
+
+  val committed : 'v outcome -> bool
+
+  val create : n:int -> unit -> 'v t
+
+  val handle : 'v t -> pid:int -> 'v handle
+
+  val propose : 'v handle -> pid:int -> 'v -> 'v outcome
+  (** One graded proposal; at most one call per process per instance. *)
+end

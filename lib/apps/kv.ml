@@ -65,3 +65,78 @@ module Make (S : Psnap.Snapshot.S) = struct
 
   let mem t k = Hashtbl.mem t.index k
 end
+
+(** The transactional store facade (docs/MODEL.md §15): the same typed
+    key-value surface over the MVCC layer.  [get]/[get_many] inside a
+    transaction read the begin snapshot; [set] buffers a write published
+    only by [commit]; a transaction that never wrote is the paper's
+    read-only transaction — one partial scan, no validation, no abort. *)
+module Make_txn (T : Psnap_txn.Txn.S) = struct
+  type ('k, 'v) t = {
+    store : 'v T.t;
+    index : ('k, int) Hashtbl.t;
+        [@psnap.local_state
+          "key-to-component map, populated once in create and read-only \
+           afterwards; key lookup is not a shared-memory step"]
+    keys : 'k array;
+  }
+
+  type ('k, 'v) handle = { t : ('k, 'v) t; h : 'v T.handle }
+
+  type ('k, 'v) txn = { ht : ('k, 'v) t; x : 'v T.txn }
+
+  (** [create ~n bindings] — a transactional store for the given keys and
+      initial values, shared by [n] processes.  Duplicate keys are
+      rejected; [mode] selects first-committer-wins (default) or the
+      deliberately-unsound last-writer-wins commit mode. *)
+  let create ?mode ~n bindings =
+    let keys = Array.of_list (List.map fst bindings) in
+    let init = Array.of_list (List.map snd bindings) in
+    let[@psnap.local_state
+         "built privately during create, before the store is shared"] index =
+      Hashtbl.create (Array.length keys)
+    in
+    Array.iteri
+      (fun i k ->
+        if Hashtbl.mem index k then invalid_arg "Kv.create: duplicate key";
+        Hashtbl.add index k i)
+      keys;
+    { store = T.create ?mode ~n init; index; keys }
+
+  let handle t ~pid = { t; h = T.handle t.store ~pid }
+
+  let component t k =
+    match Hashtbl.find_opt t.index k with
+    | Some i -> i
+    | None -> invalid_arg "Kv: unknown key"
+
+  let begin_ hd = { ht = hd.t; x = T.begin_ hd.h }
+
+  let get tx k = T.read tx.x (component tx.ht k)
+
+  (** Snapshot read of several keys.  Duplicates allowed; results align
+      with the request. *)
+  let get_many tx ks =
+    let idxs = Array.of_list (List.map (component tx.ht) ks) in
+    let vals = T.read_many tx.x idxs in
+    List.mapi (fun i k -> (k, vals.(i))) ks
+
+  let get_all tx =
+    let m = Array.length tx.ht.keys in
+    let vals = T.read_many tx.x (Array.init m (fun i -> i)) in
+    Array.to_list (Array.map2 (fun k v -> (k, v)) tx.ht.keys vals)
+
+  let set tx k v = T.write tx.x (component tx.ht k) v
+
+  let commit tx = T.commit tx.x
+
+  let abort tx = T.abort tx.x
+
+  let resume hd = T.resume hd.h
+
+  let observation tx = T.observation tx.x
+
+  let keys t = Array.to_list t.keys
+
+  let mem t k = Hashtbl.mem t.index k
+end

@@ -39,3 +39,55 @@ module Make (S : Psnap.Snapshot.S) : sig
 
   val mem : ('k, 'v) t -> 'k -> bool
 end
+
+(** The transactional store facade (docs/MODEL.md §15): the same typed
+    key-value surface over the MVCC snapshot-isolation layer.  Reads
+    inside a transaction see its begin snapshot (plus its own buffered
+    writes); {!Make_txn.set} buffers a write published only by
+    {!Make_txn.commit}; a transaction that never wrote is a read-only
+    transaction — one partial scan, no validation, no abort. *)
+module Make_txn (T : Psnap_txn.Txn.S) : sig
+  type ('k, 'v) t
+
+  type ('k, 'v) handle
+
+  type ('k, 'v) txn
+  (** One transaction of one handle; finished by [commit] or [abort]. *)
+
+  val create :
+    ?mode:Psnap_txn.Txn.mode -> n:int -> ('k * 'v) list -> ('k, 'v) t
+  (** [create ~n bindings] — a transactional store for the given keys and
+      initial values, shared by [n] processes.  Duplicate keys are
+      rejected. *)
+
+  val handle : ('k, 'v) t -> pid:int -> ('k, 'v) handle
+
+  val begin_ : ('k, 'v) handle -> ('k, 'v) txn
+
+  val get : ('k, 'v) txn -> 'k -> 'v
+  (** Snapshot read of one key.  Unknown keys raise [Invalid_argument]. *)
+
+  val get_many : ('k, 'v) txn -> 'k list -> ('k * 'v) list
+  (** Snapshot read of several keys (one partial scan).  Duplicates
+      allowed; results align with the request. *)
+
+  val get_all : ('k, 'v) txn -> ('k * 'v) list
+  (** Snapshot read of every key. *)
+
+  val set : ('k, 'v) txn -> 'k -> 'v -> unit
+  (** Buffer a write, published by {!commit}. *)
+
+  val commit : ('k, 'v) txn -> (int, Psnap_txn.Txn.abort_reason) result
+
+  val abort : ('k, 'v) txn -> unit
+
+  val resume : ('k, 'v) handle -> 'v Psnap.Si_check.obs option
+  (** Crash-restart recovery for this pid (see [Psnap_txn.Txn.S.resume]);
+      [Some obs] reports a dead incarnation's rolled-forward commit. *)
+
+  val observation : ('k, 'v) txn -> 'v Psnap.Si_check.obs option
+
+  val keys : ('k, 'v) t -> 'k list
+
+  val mem : ('k, 'v) t -> 'k -> bool
+end

@@ -1,0 +1,34 @@
+(** One-shot lattice agreement from a snapshot object.
+
+    Lattice agreement and atomic snapshots are two faces of the same
+    problem: Attiya, Herlihy and Rachman [10] build snapshots {e from}
+    lattice agreement (Section 5 of the paper); this module is the easy
+    direction — given a linearizable snapshot, lattice agreement is one
+    update plus one scan.  Each process proposes a lattice element and
+    decides a value such that
+
+    - {b validity}: its own proposal ≤ its decision ≤ the join of all
+      proposals made so far;
+    - {b comparability}: any two decisions are ordered by ≤.
+
+    Comparability is exactly the containment ordering of linearizable
+    scans: a later scan sees a superset of the proposals an earlier one
+    saw, so the joins form a chain.  The lattice is supplied as
+    [bottom]/[join]; e.g. sets with union, or integer vectors with
+    pointwise max. *)
+
+module Make (S : Psnap.Snapshot.S) : sig
+  type 'v t
+
+  type 'v handle
+
+  val create : n:int -> bottom:'v -> join:('v -> 'v -> 'v) -> unit -> 'v t
+  (** An instance for [n] processes over the join-semilattice
+      ([bottom], [join]). *)
+
+  val handle : 'v t -> pid:int -> 'v handle
+
+  val propose : 'v handle -> 'v -> 'v
+  (** [propose h x] — publish [x] and decide the join of everything
+      visible.  At most one call per process (one-shot). *)
+end

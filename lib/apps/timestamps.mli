@@ -1,0 +1,33 @@
+(** Concurrent timestamping from snapshots — the introduction of the paper
+    lists timestamping [16] among the classic snapshot applications.
+
+    {!Make.next} returns a globally ordered label [(counter, pid)]: it
+    scans all announcement components atomically, picks one past the
+    maximum, and publishes it.  The snapshot's linearizability gives the
+    {e monotonicity} property timestamping needs: if one [next] completes
+    before another begins, the later one returns a strictly larger label.
+    Concurrent calls may be ordered either way but always receive distinct
+    labels (ties broken by process id). *)
+
+module Make (S : Psnap.Snapshot.S) : sig
+  type t
+
+  type handle
+
+  type label = { counter : int; pid : int }
+
+  val compare_label : label -> label -> int
+  (** Total order: by counter, ties by process id. *)
+
+  val create : n:int -> unit -> t
+
+  val handle : t -> pid:int -> handle
+
+  val next : handle -> label
+  (** Draw and publish a fresh label, strictly larger than every label
+      whose [next] completed before this call began. *)
+
+  val current : handle -> int
+  (** The largest counter issued so far (by any completed [next]); like
+      [next] without publishing. *)
+end

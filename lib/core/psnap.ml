@@ -64,6 +64,7 @@ module History = Psnap_history.History
 module Lin_check = Psnap_history.Lin_check
 module Snapshot_spec = Psnap_history.Snapshot_spec
 module Activeset_check = Psnap_history.Activeset_check
+module Si_check = Psnap_history.Si_check
 
 (** The active set abstraction and its implementations. *)
 module Active_set = struct
@@ -144,6 +145,25 @@ module Runtime = struct
   module Resilient = Psnap_runtime.Resilient
   module Loadgen = Psnap_runtime.Loadgen
   module Histogram = Psnap_runtime.Histogram
+end
+
+(** The transactional layer (docs/MODEL.md §15): MVCC snapshot-isolation
+    transactions — version chains in snapshot components, begin-timestamps
+    plus the active set as the in-flight committer list, read-only
+    transactions as single partial scans, first-committer-wins commits
+    through a bounded commit descriptor. *)
+module Txn = struct
+  module type S = Psnap_txn.Txn.S
+
+  module Make = Psnap_txn.Txn.Make
+
+  type mode = Psnap_txn.Txn.mode = Fcw | Lww
+
+  type abort_reason = Psnap_txn.Txn.abort_reason = Conflict of int | Busy
+
+  let mode_to_string = Psnap_txn.Txn.mode_to_string
+
+  let mode_of_string = Psnap_txn.Txn.mode_of_string
 end
 
 (** The durability layer (docs/MODEL.md §13): checksummed write-ahead
@@ -259,6 +279,19 @@ module Sim_durable_fig3 =
   Psnap_persist.Durable.Make (Mem.Sim) (Sim_fig3)
     (Psnap_persist.Storage.Sim)
 
+(** The MVCC transactional store over Figure 3 on the simulator — the
+    instance the [--impl txn] chaos campaigns, the SI-oracle tests and the
+    committed e20 witness drive: version chains in Figure 3 components,
+    Figure 2's active set as the in-flight committer list
+    (docs/MODEL.md §15, EXPERIMENTS.md E20). *)
+module Sim_txn_fig3 = Psnap_txn.Txn.Make (Mem.Sim) (Sim_fig3) (Sim_aset_fai)
+
+(** The same transactional store over the helping-free non-blocking
+    snapshot: read-only transactions inherit its starvation behaviour,
+    which is what makes it interesting under adversarial schedules. *)
+module Sim_txn_nonblocking =
+  Psnap_txn.Txn.Make (Mem.Sim) (Sim_nonblocking) (Sim_aset_fai)
+
 (* ---- Distributed backend (docs/MODEL.md §14): ABD quorum registers
    over the crash-prone message transport ---- *)
 
@@ -328,3 +361,8 @@ module Mc_sharded_fig3 =
     drives to price durability in the latency histograms. *)
 module Mc_durable_fig3 =
   Psnap_persist.Durable.Make (Mem.Atomic) (Mc_fig3) (Psnap_persist.Storage.Mc)
+
+(** The MVCC transactional store over Figure 3 on real atomics — what the
+    loadgen's [--impl txn] drives: a zipf read-mostly transaction mix with
+    commit/abort/retry accounting (EXPERIMENTS.md E20). *)
+module Mc_txn_fig3 = Psnap_txn.Txn.Make (Mem.Atomic) (Mc_fig3) (Mc_aset_fai)

@@ -1,0 +1,167 @@
+(* Snapshot-isolation oracle over per-transaction observation records
+   (docs/MODEL.md §15).
+
+   Each record reports what the implementation claims about one
+   transaction: its begin-timestamp, the txids it excluded as in-flight at
+   begin, the values its snapshot reads returned, and — if it committed
+   read-write — its commit timestamp and write set.  The checker decides
+   the two defining conditions of snapshot isolation against those claims:
+
+   - {e visibility per begin snapshot}: every snapshot read must return the
+     value of the committed writer with the greatest commit timestamp that
+     is at most the reader's begin-timestamp and whose txid the reader did
+     not exclude (the initial value if there is none);
+
+   - {e no lost updates} (first-committer-wins): no two committed
+     transactions may write a common component when the first-committed
+     one's version was invisible to the second's snapshot — committed
+     inside the second's [begin, commit] window or excluded at its begin.
+
+   Like [Snapshot_spec.check_observations] this is a sound necessary
+   condition: any reported violation is a real SI violation relative to the
+   reported timestamps, and with per-transaction-unique written values the
+   visibility check is decisive.  It is what the chaos campaigns run after
+   every seeded execution and what the committed e20 witness replays
+   through [dune runtest]: the deliberately-unsound last-writer-wins commit
+   mode trips [Lost_update] while first-committer-wins stays clean on the
+   identical schedule. *)
+
+type 'v obs = {
+  txid : int;
+  pid : int;
+  begin_ts : int;
+  excluded : int list;  (** txids in flight at this transaction's begin *)
+  committed : bool;
+  commit_ts : int option;  (** [Some] only for committed read-write *)
+  reads : (int * 'v) list;  (** snapshot reads: (component, value seen) *)
+  writes : (int * 'v) list;  (** committed write set; [[]] otherwise *)
+}
+
+type 'v violation =
+  | Stale_read of {
+      txid : int;
+      component : int;
+      saw : 'v;
+      expected : 'v;
+      expected_from : int;  (** txid of the writer that should be visible *)
+    }
+  | Lost_update of {
+      txid : int;  (** the second committer, whose commit should have failed *)
+      first : int;  (** the first committer it overwrote blindly *)
+      component : int;
+    }
+  | Bad_timestamps of { txid : int; reason : string }
+
+let pp_violation pp_v ppf = function
+  | Stale_read { txid; component; saw; expected; expected_from } ->
+    Format.fprintf ppf
+      "stale read: txn %d read component %d as %a but txn %d's committed %a \
+       was visible to its snapshot"
+      txid component pp_v saw expected_from pp_v expected
+  | Lost_update { txid; first; component } ->
+    Format.fprintf ppf
+      "lost update: txn %d committed component %d over txn %d's commit, \
+       which was invisible to its snapshot (first committer should win)"
+      txid component first
+  | Bad_timestamps { txid; reason } ->
+    Format.fprintf ppf "bad timestamps: txn %d: %s" txid reason
+
+(* The committed writer visible to (begin_ts, excluded) for [component]:
+   greatest commit timestamp <= begin_ts with a non-excluded txid. *)
+let visible_writer writers ~begin_ts ~excluded component =
+  List.fold_left
+    (fun best (w : 'v obs) ->
+      match (w.commit_ts, List.assoc_opt component w.writes) with
+      | Some cts, Some v
+        when cts <= begin_ts && not (List.mem w.txid excluded) -> (
+        match best with
+        | Some (bcts, _, _) when bcts >= cts -> best
+        | _ -> Some (cts, w.txid, v))
+      | _ -> best)
+    None writers
+
+let check ~init obs_list =
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  let writers =
+    List.filter (fun o -> o.committed && o.writes <> []) obs_list
+  in
+  (* timestamp sanity over committed read-write transactions *)
+  let seen_cts = Hashtbl.create 16 in
+  List.iter
+    (fun (o : 'v obs) ->
+      match o.commit_ts with
+      | None ->
+        if o.committed && o.writes <> [] then
+          add
+            (Bad_timestamps
+               { txid = o.txid; reason = "committed writes without a commit timestamp" })
+      | Some cts ->
+        if cts <= o.begin_ts then
+          add
+            (Bad_timestamps
+               {
+                 txid = o.txid;
+                 reason =
+                   Printf.sprintf "commit timestamp %d <= begin timestamp %d"
+                     cts o.begin_ts;
+               });
+        (match Hashtbl.find_opt seen_cts cts with
+        | Some other ->
+          add
+            (Bad_timestamps
+               {
+                 txid = o.txid;
+                 reason =
+                   Printf.sprintf "commit timestamp %d also drawn by txn %d"
+                     cts other;
+               })
+        | None -> Hashtbl.add seen_cts cts o.txid))
+    obs_list;
+  (* visibility per begin snapshot — aborted transactions' reads must be
+     consistent too: their snapshot was live while they ran *)
+  List.iter
+    (fun (o : 'v obs) ->
+      List.iter
+        (fun (component, saw) ->
+          let expected_from, expected =
+            match
+              visible_writer writers ~begin_ts:o.begin_ts
+                ~excluded:o.excluded component
+            with
+            | Some (_, txid, v) -> (txid, v)
+            | None ->
+              if component >= 0 && component < Array.length init then
+                (0, init.(component))
+              else (0, saw)
+          in
+          if saw <> expected then
+            add
+              (Stale_read
+                 { txid = o.txid; component; saw; expected; expected_from }))
+        o.reads)
+    obs_list;
+  (* no lost updates: first committer wins *)
+  List.iter
+    (fun (second : 'v obs) ->
+      match second.commit_ts with
+      | None -> ()
+      | Some cts2 ->
+        List.iter
+          (fun (first : 'v obs) ->
+            match first.commit_ts with
+            | Some cts1
+              when first.txid <> second.txid && cts1 < cts2
+                   && (cts1 > second.begin_ts
+                      || List.mem first.txid second.excluded) ->
+              List.iter
+                (fun (component, _) ->
+                  if List.mem_assoc component first.writes then
+                    add
+                      (Lost_update
+                         { txid = second.txid; first = first.txid; component }))
+                second.writes
+            | _ -> ())
+          writers)
+    writers;
+  List.rev !violations

@@ -1,0 +1,48 @@
+(** Snapshot-isolation oracle over per-transaction observation records
+    (docs/MODEL.md §15).
+
+    The transactional layer ([Psnap_txn]) reports, for every finished
+    transaction, its begin-timestamp, the txids it treated as in flight at
+    begin, its snapshot reads, and — when it committed read-write — its
+    commit timestamp and write set.  {!check} decides the two defining SI
+    conditions against those claims: visibility per begin snapshot, and no
+    lost updates (first committer wins).
+
+    Like [Snapshot_spec.check_observations] this is a sound necessary
+    condition: every reported violation is a real SI violation relative to
+    the reported timestamps, and with per-transaction-unique written values
+    the visibility check is decisive. *)
+
+type 'v obs = {
+  txid : int;
+  pid : int;
+  begin_ts : int;
+  excluded : int list;  (** txids in flight at this transaction's begin *)
+  committed : bool;
+  commit_ts : int option;  (** [Some] only for committed read-write *)
+  reads : (int * 'v) list;  (** snapshot reads: (component, value seen) *)
+  writes : (int * 'v) list;  (** committed write set; [[]] otherwise *)
+}
+
+type 'v violation =
+  | Stale_read of {
+      txid : int;
+      component : int;
+      saw : 'v;
+      expected : 'v;
+      expected_from : int;  (** txid of the writer that should be visible *)
+    }
+  | Lost_update of {
+      txid : int;  (** the second committer, whose commit should have failed *)
+      first : int;  (** the first committer it overwrote blindly *)
+      component : int;
+    }
+  | Bad_timestamps of { txid : int; reason : string }
+
+val pp_violation :
+  (Format.formatter -> 'v -> unit) -> Format.formatter -> 'v violation -> unit
+
+(** [check ~init obs] — all SI violations implied by the reported
+    observations, in deterministic order.  [init] supplies the value a
+    snapshot read must see when no committed writer is visible. *)
+val check : init:'v array -> 'v obs list -> 'v violation list

@@ -425,6 +425,101 @@ let pp_net ppf n =
     n.resends n.writebacks n.writeback_skips n.unavailable
     (mean_quorum_wait n)
 
+(** {2 Transaction counters} *)
+
+(* Global counters bumped by the Psnap_txn MVCC layer (docs/MODEL.md §15).
+   Same discipline as the serving, durable and net counters: plain
+   references — exact under the cooperative simulator, approximate
+   (unsynchronized increments) under the multi-domain loadgen,
+   observability only. *)
+
+let t_begins = ref 0
+
+let t_ro_commits = ref 0
+
+let t_rw_commits = ref 0
+
+let t_conflicts = ref 0
+
+let t_busy_aborts = ref 0
+
+let t_voluntary_aborts = ref 0
+
+let t_lww_overwrites = ref 0
+
+let t_resumes = ref 0
+
+let t_pruned_versions = ref 0
+
+type txn = {
+  begins : int;
+  ro_commits : int;
+  rw_commits : int;
+  conflicts : int;
+  busy_aborts : int;
+  voluntary_aborts : int;
+  lww_overwrites : int;
+  resumes : int;
+  pruned_versions : int;
+}
+
+let txn () =
+  {
+    begins = !t_begins;
+    ro_commits = !t_ro_commits;
+    rw_commits = !t_rw_commits;
+    conflicts = !t_conflicts;
+    busy_aborts = !t_busy_aborts;
+    voluntary_aborts = !t_voluntary_aborts;
+    lww_overwrites = !t_lww_overwrites;
+    resumes = !t_resumes;
+    pruned_versions = !t_pruned_versions;
+  }
+
+let reset_txn () =
+  t_begins := 0;
+  t_ro_commits := 0;
+  t_rw_commits := 0;
+  t_conflicts := 0;
+  t_busy_aborts := 0;
+  t_voluntary_aborts := 0;
+  t_lww_overwrites := 0;
+  t_resumes := 0;
+  t_pruned_versions := 0
+
+let note_txn_begin () = incr t_begins
+
+let note_txn_ro_commit () = incr t_ro_commits
+
+let note_txn_rw_commit () = incr t_rw_commits
+
+let note_txn_conflict () = incr t_conflicts
+
+let note_txn_busy () = incr t_busy_aborts
+
+let note_txn_voluntary_abort () = incr t_voluntary_aborts
+
+let note_txn_lww_overwrite () = incr t_lww_overwrites
+
+let note_txn_resume () = incr t_resumes
+
+let note_txn_pruned k = t_pruned_versions := !t_pruned_versions + k
+
+let txn_aborts t = t.conflicts + t.busy_aborts + t.voluntary_aborts
+
+let txn_abort_rate t =
+  let attempts = t.rw_commits + t.conflicts + t.busy_aborts in
+  if attempts = 0 then 0.0
+  else float_of_int (t.conflicts + t.busy_aborts) /. float_of_int attempts
+
+let pp_txn ppf t =
+  Format.fprintf ppf
+    "txn: begins=%d commits ro/rw=%d/%d aborts c/b/v=%d/%d/%d \
+     abort-rate=%.3f lww-overwrites=%d resumes=%d pruned=%d"
+    t.begins t.ro_commits t.rw_commits t.conflicts t.busy_aborts
+    t.voluntary_aborts (txn_abort_rate t) t.lww_overwrites t.resumes
+    t.pruned_versions
+
 (** {2 Memory faults} *)
 
 type fault_line = {

@@ -217,6 +217,64 @@ val mean_quorum_wait : net -> float
 
 val pp_net : Format.formatter -> net -> unit
 
+(** {2 Transaction counters}
+
+    Global counters bumped by the [Psnap_txn] MVCC layer (docs/MODEL.md
+    §15): begins, read-only and read-write commits, the three abort
+    classes (first-committer-wins conflicts, bounded commit-descriptor
+    acquisition giving up, voluntary aborts), the overwrites the unsound
+    last-writer-wins mode performed where validation would have refused,
+    crash-restart descriptor resumes, and versions discarded by watermark
+    pruning.  Same discipline as the serving counters: plain references —
+    exact under the cooperative simulator, approximate under the
+    multi-domain loadgen. *)
+
+type txn = {
+  begins : int;  (** transactions begun *)
+  ro_commits : int;  (** read-only commits (never validated, never abort) *)
+  rw_commits : int;  (** read-write commits published *)
+  conflicts : int;  (** first-committer-wins validation aborts *)
+  busy_aborts : int;  (** commit-descriptor acquisition exhausted *)
+  voluntary_aborts : int;  (** explicit [abort] calls *)
+  lww_overwrites : int;
+      (** unsound-mode commits that overwrote a version invisible to their
+          snapshot (each is a lost-update risk) *)
+  resumes : int;  (** dead incarnations' descriptors completed/released *)
+  pruned_versions : int;  (** versions discarded below the watermark *)
+}
+
+val txn : unit -> txn
+
+val reset_txn : unit -> unit
+
+(** Bump API used by [Psnap_txn]. *)
+
+val note_txn_begin : unit -> unit
+
+val note_txn_ro_commit : unit -> unit
+
+val note_txn_rw_commit : unit -> unit
+
+val note_txn_conflict : unit -> unit
+
+val note_txn_busy : unit -> unit
+
+val note_txn_voluntary_abort : unit -> unit
+
+val note_txn_lww_overwrite : unit -> unit
+
+val note_txn_resume : unit -> unit
+
+val note_txn_pruned : int -> unit
+
+(** Total aborts (conflict + busy + voluntary). *)
+val txn_aborts : txn -> int
+
+(** Aborted fraction of read-write commit attempts. *)
+val txn_abort_rate : txn -> float
+
+val pp_txn : Format.formatter -> txn -> unit
+
 (** {2 Memory faults}
 
     Per-kind injection counters from the simulated memory

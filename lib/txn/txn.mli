@@ -1,0 +1,113 @@
+(** MVCC snapshot-isolation transactions over a partial snapshot object
+    (docs/MODEL.md §15).
+
+    Each component of the underlying snapshot holds a small version chain;
+    [begin_] captures a begin-timestamp from the global commit clock plus
+    the in-flight committer list served by the active-set machinery, and a
+    version [(cts, txid, v)] is visible to a transaction iff [cts] is at
+    most its begin-timestamp and [txid] was not in flight at its begin.
+    Read-only transactions over a declared read set are one partial scan —
+    no validation, no aborts (the paper's Section 6 reading of a partial
+    scan as a read-only transaction).  Read-write commits serialize through
+    a commit descriptor installed by bounded CAS: first-committer-wins
+    validation, a fetch&add commit timestamp, atomic per-component
+    publication through the snapshot update path.
+
+    Commit never blocks indefinitely: descriptor acquisition is bounded and
+    gives up with [Busy] (an abort is always SI-safe), so a crashed
+    descriptor holder cannot hang its peers; {!Make.resume} lets the
+    holder's restarted incarnation complete or release the descriptor.  A
+    crashed committer that is never resumed stays in the in-flight list, so
+    its partial writes are permanently invisible — effectively aborted. *)
+
+type mode =
+  | Fcw  (** first-committer-wins: sound snapshot isolation *)
+  | Lww
+      (** last-writer-wins: deliberately unsound — commit skips write-write
+          validation, producing lost updates for the [Si_check] oracle and
+          the committed e20 witness to catch (EXPERIMENTS.md E20) *)
+
+type abort_reason =
+  | Conflict of int
+      (** first-committer-wins validation failed on this component *)
+  | Busy  (** commit-descriptor acquisition exhausted its bounded attempts *)
+
+val mode_to_string : mode -> string
+
+val mode_of_string : string -> mode option
+
+(** Output signature of {!Make} — what the CLI drivers and the typed
+    [Kv] facade are functorized over. *)
+module type S = sig
+  type 'a t
+
+  type 'a handle
+  (** Per-process state; operations through a handle must not be invoked
+      concurrently with each other (processes are sequential). *)
+
+  type 'a txn
+  (** One transaction of one handle; at most one live per handle. *)
+
+  val name : string
+
+  val create : ?mode:mode -> ?lock_attempts:int -> n:int -> 'a array -> 'a t
+  (** [create ~n init] — a store with components [init], used by processes
+      [0 .. n-1].  [lock_attempts] bounds commit-descriptor acquisition
+      (default 128); exhausting it aborts the commit with [Busy]. *)
+
+  val handle : 'a t -> pid:int -> 'a handle
+
+  val mode : 'a t -> mode
+
+  val begin_ : 'a handle -> 'a txn
+  (** Capture a begin-timestamp and the in-flight committer list, and
+      announce the begin-timestamp for the pruning watermark. *)
+
+  val read : 'a txn -> int -> 'a
+  (** Snapshot read of one component (one-component partial scan); own
+      buffered writes shadow the snapshot. *)
+
+  val read_many : 'a txn -> int array -> 'a array
+  (** The declared-read-set read: one partial scan, results aligned with
+      the request (duplicates allowed).  A [begin_]/[read_many]/[commit]
+      sequence with no writes is the read-only transaction: it never
+      validates and never aborts. *)
+
+  val write : 'a txn -> int -> 'a -> unit
+  (** Buffer a write; visible to this transaction's own reads, published
+      only by [commit]. *)
+
+  val commit : 'a txn -> (int, abort_reason) result
+  (** Commit.  Read-only: immediate, returns [Ok begin_ts].  Read-write:
+      first-committer-wins validation then atomic publication, returns
+      [Ok commit_ts] or [Error (Conflict _ | Busy)].  The transaction is
+      finished either way. *)
+
+  val abort : 'a txn -> unit
+  (** Drop the transaction; buffered writes are discarded. *)
+
+  val resume : 'a handle -> 'a Psnap_history.Si_check.obs option
+  (** Crash-restart recovery for this pid: if a dead incarnation crashed
+      holding the commit descriptor, complete its publish (idempotent) and
+      release it; clear this pid's announce slot.  Call before the first
+      transaction of a restarted incarnation.  [Some obs] reports a
+      rolled-forward commit to the SI oracle (the dead incarnation's own
+      [observation] stays [None]); harvesters should dedupe by txid in
+      case the crash landed after the outcome was recorded but before the
+      descriptor was released. *)
+
+  val txid : 'a txn -> int
+
+  val begin_ts : 'a txn -> int
+
+  val excluded : 'a txn -> int list
+
+  val observation : 'a txn -> 'a Psnap_history.Si_check.obs option
+  (** The record the {!Psnap_history.Si_check} oracle consumes; [None]
+      while the transaction is live. *)
+end
+
+module Make
+    (M : Psnap_mem.Mem_intf.S)
+    (S : Psnap_snapshot.Snapshot_intf.S)
+    (A : Psnap_activeset.Activeset_intf.S) : S
