@@ -206,6 +206,57 @@ chaos-txn:
 	  --dist zipf --mix 10:90 --duration 500ms --warmup 0.1s --seed 42 \
 	  --json $(ARTIFACTS)/loadgen-txn.json
 
+# Reconfiguration campaign (E21, docs/MODEL.md §16): the epoch-fenced
+# membership protocol under permanent replica deaths, rolling restarts
+# and member churn, each composed with a partition storm — zero
+# violations tolerated.  The committed witness schedule must convict the
+# naive (fence-free) mode of a lost acked write and leave the fenced
+# mode clean on the identical schedule; the loadgen run permanently
+# kills a majority under load and must return to Atomic service.
+# CHAOS_RECONFIG_SEED lets CI sweep seeds.
+CHAOS_RECONFIG_SEED ?= 0
+chaos-reconfig:
+	dune build bin/simulate.exe bin/loadgen.exe
+	mkdir -p $(ARTIFACTS)
+	dune exec bin/simulate.exe -- --reconfig fenced --replicas 3 --spares 2 \
+	  --reconfig-nemesis replica_death --net-nemesis partition_storm \
+	  --seed $(CHAOS_RECONFIG_SEED) --seeds 3 --check \
+	  --json $(ARTIFACTS)/chaos-reconfig-death-$(CHAOS_RECONFIG_SEED).json
+	dune exec bin/simulate.exe -- --reconfig fenced --replicas 3 --spares 2 \
+	  --reconfig-nemesis rolling_restart --net-nemesis partition_storm \
+	  --seed $(CHAOS_RECONFIG_SEED) --seeds 3 --check \
+	  --json $(ARTIFACTS)/chaos-reconfig-rolling-$(CHAOS_RECONFIG_SEED).json
+	dune exec bin/simulate.exe -- --reconfig fenced --replicas 3 --spares 2 \
+	  --reconfig-nemesis config_churn --net-nemesis partition_storm \
+	  --seed $(CHAOS_RECONFIG_SEED) --seeds 3 --check \
+	  --json $(ARTIFACTS)/chaos-reconfig-churn-$(CHAOS_RECONFIG_SEED).json
+	dune exec bin/simulate.exe -- --reconfig naive --updaters 1 --updates 20 \
+	  --scanners 2 --scans 3 --replicas 3 --spares 2 --sched starve --check \
+	  --expect-violations --replay-file schedules/e21-reconfig-naive.sched \
+	  --json $(ARTIFACTS)/chaos-reconfig-naive-witness.json
+	dune exec bin/simulate.exe -- --reconfig fenced --updaters 1 --updates 20 \
+	  --scanners 2 --scans 3 --replicas 3 --spares 2 --sched starve --check \
+	  --replay-file schedules/e21-reconfig-naive.sched \
+	  --json $(ARTIFACTS)/chaos-reconfig-fenced-witness.json
+	dune exec bin/loadgen.exe -- --reconfig-under-load --replicas 3 \
+	  --spares 2 --domains 2 --duration 1s \
+	  --json $(ARTIFACTS)/loadgen-reconfig.json
+
+# Every chaos campaign back to back, consolidated into one summary: each
+# campaign's JSON artifacts are embedded under their basename so a single
+# file answers "did anything break tonight, and under which nemesis".
+chaos-all: chaos chaos-mem chaos-runtime chaos-durable chaos-net chaos-txn chaos-reconfig
+	{ echo '{'; \
+	  first=1; \
+	  for f in $$(ls $(ARTIFACTS)/chaos-*.json $(ARTIFACTS)/loadgen-reconfig.json 2>/dev/null | sort); do \
+	    case "$$f" in */chaos-summary.json) continue ;; esac; \
+	    name=$$(basename $$f .json); \
+	    if [ $$first -eq 1 ]; then first=0; else echo ','; fi; \
+	    printf '  "%s": ' "$$name"; cat $$f; \
+	  done; \
+	  echo '}'; } > $(ARTIFACTS)/chaos-summary.json
+	@echo "consolidated summary: $(ARTIFACTS)/chaos-summary.json"
+
 # The artifacts referenced by EXPERIMENTS.md.
 pin-outputs:
 	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
@@ -215,4 +266,4 @@ clean:
 	dune clean
 	rm -rf $(ARTIFACTS)
 
-.PHONY: all test lint race bench chaos chaos-mem chaos-runtime chaos-durable chaos-net chaos-txn loadgen-smoke examples pin-outputs clean
+.PHONY: all test lint race bench chaos chaos-mem chaos-runtime chaos-durable chaos-net chaos-txn chaos-reconfig chaos-all loadgen-smoke examples pin-outputs clean

@@ -169,9 +169,225 @@ let write_json path fields =
         fields;
       output_string oc "}\n")
 
+(* ---- reconfigure-under-load (EXPERIMENTS.md E21, wall-clock side) ----
+
+   [domains] writer domains hammer one ABD register each while the
+   control thread permanently kills members of the current configuration
+   one at a time, driving a fenced replacement reconfiguration after each
+   kill — so the state transfer always finds a read quorum of the
+   configuration it seals, even once a majority of the ORIGINAL members
+   is dead.  Reported: the longest wall-clock stretch any domain went
+   without a successful operation (the availability gap), the epoch
+   chase count, whether every domain completed operations after the last
+   replacement (the service returned to Atomic), and a final read-back
+   per register (no acked write may be lost across the replacements). *)
+let run_reconfig_scenario replicas spares kill_n domains duration json_file =
+  let module A = Psnap.Net.Abd in
+  let module R = Psnap.Net.Reconfig in
+  let duration_s = seconds_of duration in
+  let majority = (replicas / 2) + 1 in
+  let kill_n = match kill_n with Some k -> k | None -> majority in
+  if replicas < 3 then begin
+    Printf.eprintf "--reconfig-under-load needs --replicas >= 3\n";
+    exit 2
+  end;
+  if kill_n > spares then begin
+    Printf.eprintf
+      "--kill %d needs at least that many --spares (have %d): every dead \
+       member is replaced by a fresh spare\n"
+      kill_n spares;
+    exit 2
+  end;
+  Metrics.reset_net ();
+  Metrics.reset_serving ();
+  Metrics.reset_reconfig ();
+  let dbg0 =
+    if Sys.getenv_opt "PSNAP_RECONFIG_DEBUG" <> None then
+      fun s -> Printf.eprintf "[ul] %s\n%!" s
+    else fun _ -> ()
+  in
+  dbg0 "building cluster";
+  (* Bounded attempt budgets: with members dying permanently, an
+     operation must give up as [Unavailable] and chase the new
+     configuration instead of waiting forever for a dead quorum's acks. *)
+  let cluster =
+    A.mc_cluster ~poll_budget:32 ~max_attempts:4 ~clients:(domains + 1)
+      ~replicas ~spares ~with_manager:true ()
+  in
+  (* Clients park at most one condition-wait per poll; this ticker
+     guarantees they wake and burn budget even when no replica traffic
+     reaches them (i.e. while a dead quorum is being replaced). *)
+  let waker_stop = Atomic.make false in
+  let waker =
+    Domain.spawn (fun () ->
+        while not (Atomic.get waker_stop) do
+          ignore (Unix.select [] [] [] 0.001);
+          A.mc_wake cluster
+        done)
+  in
+  dbg0 "spawning replica domains";
+  let pool = replicas + spares in
+  let rdomains =
+    List.init pool (fun i -> Domain.spawn (A.mc_replica_body cluster ~index:i))
+  in
+  let rc = R.mc_attach ~mode:R.Fenced cluster in
+  dbg0 "creating registers";
+  let regs =
+    Array.init domains (fun d ->
+        A.Mc_mem.make ~name:(Printf.sprintf "ul.reg.%d" d) 0)
+  in
+  let stop = Atomic.make false in
+  let done_at = Atomic.make infinity in
+  let last_acked = Array.make domains 0 in
+  let ops_ok = Array.make domains 0 in
+  let ops_unavail = Array.make domains 0 in
+  let post_ok = Array.make domains false in
+  let max_gap = Array.make domains 0.0 in
+  let lost = Array.make domains false in
+  let worker d () =
+    let k = ref 0 in
+    let last_success = ref (Unix.gettimeofday ()) in
+    while not (Atomic.get stop) do
+      incr k;
+      try
+        A.Mc_mem.write regs.(d) !k;
+        last_acked.(d) <- !k;
+        ops_ok.(d) <- ops_ok.(d) + 1;
+        let now = Unix.gettimeofday () in
+        let gap = now -. !last_success in
+        if gap > max_gap.(d) then max_gap.(d) <- gap;
+        last_success := now;
+        if now > Atomic.get done_at then post_ok.(d) <- true
+      with Psnap.Net.Unavailable _ ->
+        ops_unavail.(d) <- ops_unavail.(d) + 1
+    done;
+    (try
+       let v = A.Mc_mem.read regs.(d) in
+       if v < last_acked.(d) then lost.(d) <- true
+     with Psnap.Net.Unavailable _ -> ())
+  in
+  let dbg =
+    if Sys.getenv_opt "PSNAP_RECONFIG_DEBUG" <> None then
+      fun fmt -> Printf.eprintf fmt
+    else fun fmt -> Printf.ifprintf stderr fmt
+  in
+  dbg "[ul] registers created\n%!";
+  let workers = List.init domains (fun d -> Domain.spawn (worker d)) in
+  let t0 = Unix.gettimeofday () in
+  let sleep s = ignore (Unix.select [] [] [] s) in
+  let replace_retries = ref 0 in
+  sleep (duration_s /. 8.);
+  for i = 0 to kill_n - 1 do
+    dbg "[ul] killing pool replica %d\n%!" i;
+    A.mc_kill cluster ~index:i;
+    let cfg = R.mc_current_config rc in
+    let dead = List.nth (A.mc_pool_nodes cluster) i in
+    let spare = List.nth (A.mc_pool_nodes cluster) (replicas + i) in
+    let members =
+      List.map (fun n -> if n = dead then spare else n) cfg.A.members
+    in
+    let rec attempt n =
+      match R.mc_reconfigure rc ~members with
+      | _ -> ()
+      | exception Psnap.Net.Unavailable _ ->
+        incr replace_retries;
+        if n < 100 then begin
+          sleep 0.02;
+          attempt (n + 1)
+        end
+        else
+          Printf.eprintf
+            "replacement %d never reached quorum; leaving the configuration\n"
+            i
+    in
+    attempt 0;
+    dbg "[ul] replacement %d installed (epoch %d)\n%!" i
+      (R.mc_current_config rc).A.epoch;
+    sleep (duration_s /. 8.)
+  done;
+  Atomic.set done_at (Unix.gettimeofday ());
+  let elapsed = Unix.gettimeofday () -. t0 in
+  if elapsed < duration_s then sleep (duration_s -. elapsed);
+  Atomic.set stop true;
+  dbg "[ul] joining workers\n%!";
+  List.iter Domain.join workers;
+  dbg "[ul] stopping replicas\n%!";
+  A.mc_stop cluster;
+  List.iter Domain.join rdomains;
+  Atomic.set waker_stop true;
+  Domain.join waker;
+  dbg "[ul] replicas joined\n%!";
+  let rm = Metrics.reconfig () in
+  let nv = Metrics.net () in
+  let recovered = Array.for_all (fun b -> b) post_ok in
+  let lost_any = Array.exists (fun b -> b) lost in
+  let max_gap_all = Array.fold_left max 0.0 max_gap in
+  let final : A.config = R.mc_current_config rc in
+  let total a = Array.fold_left ( + ) 0 a in
+  Printf.printf
+    "reconfigure-under-load: %d domains over %d replicas + %d spares; \
+     killed %d members permanently, %d reconfigurations (%d transfer \
+     retries), final epoch %d over members %s\n"
+    domains replicas spares kill_n rm.Metrics.reconfigs !replace_retries
+    final.A.epoch
+    (String.concat "," (List.map string_of_int final.A.members));
+  Printf.printf
+    "ops: %d acked, %d unavailable; max availability gap %.0f ms; %d stale \
+     rejects, %d epoch chases; recovered=%b, lost_writes=%b\n"
+    (total ops_ok) (total ops_unavail)
+    (max_gap_all *. 1000.0)
+    rm.Metrics.stale_rejects rm.Metrics.epoch_chases recovered lost_any;
+  Option.iter
+    (fun path ->
+      write_json path
+        [
+          ("scenario", "\"reconfigure-under-load\"");
+          ("domains", string_of_int domains);
+          ("replicas", string_of_int replicas);
+          ("spares", string_of_int spares);
+          ("killed", string_of_int kill_n);
+          ("duration_s", Printf.sprintf "%.3f" duration_s);
+          ("ops_ok", string_of_int (total ops_ok));
+          ("ops_unavailable", string_of_int (total ops_unavail));
+          ("max_availability_gap_ms", Printf.sprintf "%.1f" (max_gap_all *. 1000.0));
+          ("reconfigs", string_of_int rm.Metrics.reconfigs);
+          ("transfer_retries", string_of_int !replace_retries);
+          ("final_epoch", string_of_int final.A.epoch);
+          ("stale_rejects", string_of_int rm.Metrics.stale_rejects);
+          ("epoch_chases", string_of_int rm.Metrics.epoch_chases);
+          ("seals", string_of_int rm.Metrics.seals);
+          ("transfers", string_of_int rm.Metrics.transfers);
+          ("activations", string_of_int rm.Metrics.activations);
+          ("quorum_rounds", string_of_int nv.Metrics.rounds);
+          ("unavailable_ops", string_of_int nv.Metrics.unavailable);
+          ("recovered", string_of_bool recovered);
+          ("lost_writes", string_of_bool lost_any);
+        ];
+      Printf.printf "json summary written to %s\n" path)
+    json_file;
+  if lost_any then begin
+    Printf.printf "FAIL: an acked write was lost across reconfiguration\n";
+    1
+  end
+  else if not recovered then begin
+    Printf.printf
+      "FAIL: a domain never completed an operation after the last \
+       replacement\n";
+    1
+  end
+  else begin
+    Printf.printf
+      "service returned to Atomic after replacing %d of %d original members\n"
+      kill_n replicas;
+    0
+  end
+
 let run impl_name mem_backend replicas shards partition_name m r domains
     dist_name theta mix_s rate scan_name duration warmup seed open_shard
-    json_file =
+    json_file reconfig_under_load spares kill_n =
+  if reconfig_under_load then
+    run_reconfig_scenario replicas spares kill_n domains duration json_file
+  else
   let partition =
     match partition_name with
     | "rr" | "round-robin" -> `Round_robin
@@ -470,6 +686,35 @@ let json_file =
     & info [ "json" ] ~docv:"FILE"
         ~doc:"Write a machine-readable summary to FILE.")
 
+let reconfig_under_load =
+  Arg.(
+    value & flag
+    & info [ "reconfig-under-load" ]
+        ~doc:
+          "Run the E21 wall-clock scenario instead of the benchmark: \
+           writer domains hammer ABD registers while a majority of the \
+           members is permanently killed and replaced one at a time by \
+           fenced reconfigurations; reports the availability gap, the \
+           epoch chases, and whether the service returned to Atomic \
+           (exit 1 on a lost write or an unrecovered domain).")
+
+let spares =
+  Arg.(
+    value & opt int 2
+    & info [ "spares" ] ~docv:"N"
+        ~doc:
+          "($(b,--reconfig-under-load) only) Spare replicas available for \
+           promotion; must cover $(b,--kill).")
+
+let kill_n =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "kill" ] ~docv:"N"
+        ~doc:
+          "($(b,--reconfig-under-load) only) Members killed permanently, \
+           one replacement each (default: a majority of --replicas).")
+
 let cmd =
   Cmd.v
     (Cmd.info "loadgen"
@@ -477,6 +722,7 @@ let cmd =
     Term.(
       const run $ impl $ mem_backend $ replicas $ shards $ partition $ m $ r
       $ domains $ dist $ theta $ mix $ rate $ scan_pattern $ duration
-      $ warmup $ seed $ open_shard $ json_file)
+      $ warmup $ seed $ open_shard $ json_file $ reconfig_under_load
+      $ spares $ kill_n)
 
 let () = exit (Cmd.eval' cmd)

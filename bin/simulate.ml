@@ -1034,7 +1034,8 @@ let run_txn m r updaters updates scanners scans sched_name seed_base seeds
    operation is counted, the client carries on, nothing spins. *)
 let run_net impl_name m r updaters updates scanners scans sched_name
     seed_base seeds check nemesis_name net_nemesis_name net_mode_name
-    net_rate replicas expect_violations shrink replay_file json_file =
+    net_rate replicas power_loss_arg expect_violations shrink replay_file
+    json_file =
   let module A = Psnap.Net.Abd in
   let (module S : Snapshot.S) = net_impl_of impl_name in
   if r > m then (
@@ -1165,10 +1166,30 @@ let run_net impl_name m r updaters updates scanners scans sched_name
         s;
       exit 2
   in
+  (* Power loss against the net backend: the blackout halts clients and
+     replicas alike — a replica's durable store cell survives (each write
+     to it is a completed synchronous step, there is no un-synced tail),
+     clients come back only to close their sessions.  Composed last so
+     replayed schedules carry the [powerloss] decision like any fault. *)
+  let power_nemesis_of ~seed base =
+    match power_loss_arg with
+    | "none" -> base
+    | "storm" -> Scheduler.power_storm ~seed base
+    | s -> (
+      match int_of_string_opt s with
+      | Some c when c >= 0 -> Scheduler.power_loss_at ~at_clock:c base
+      | _ ->
+        Printf.eprintf
+          "unknown --power-loss %S under --mem net (choose from: none, \
+           storm, or a clock value)\n"
+          s;
+        exit 2)
+  in
   let sched_for ~seed =
     let w = sched_of sched_name ~scanner_pids ~updater_pids ~seed in
     let w = nemesis_of nemesis_name ~seed w in
-    net_nemesis_of ~seed w
+    let w = net_nemesis_of ~seed w in
+    power_nemesis_of ~seed w
   in
   let fallback = Scheduler.round_robin () in
   let replay_sched decisions =
@@ -1333,11 +1354,456 @@ let run_net impl_name m r updaters updates scanners scans sched_name
     end
   else 0
 
+(* ---- E21: online reconfiguration campaigns (docs/MODEL.md §16) ----
+
+   Workload chosen for oracle soundness: [updaters] writer clients each
+   own one register and write 1..[updates] monotonically, HALTING on the
+   first [Unavailable] (a writer that pushed past one could burn the same
+   timestamp twice — equal tags carrying different values — which makes
+   any monotonicity oracle unsound); [scanners] reader clients poll the
+   writers' registers.  Three oracles:
+
+   - lost write: a writer's final read-back must never run below its last
+     acked write (the E21 naive-mode conviction);
+   - monotonicity: per (reader, register) observed values never step
+     backwards across reconfigurations;
+   - exact linearizability (--check): per register, a Wing–Gong check
+     over the recorded history with [Unavailable] operations left
+     pending.
+
+   RMW is excluded on purpose: at-most-once across a membership change
+   would need the home replica's dedup entry to reach the collect
+   quorum, which a reply lost before the transfer can defeat (documented
+   in Net_abd); the reconfiguration campaigns stick to reads/writes. *)
+
+module Reg_spec = struct
+  type state = int
+  type op = Rwrite of int | Rread
+  type res = Rack | Rval of int
+
+  let apply s = function Rwrite v -> (v, Rack) | Rread -> (s, Rval s)
+  let equal_res (a : res) (b : res) = a = b
+end
+
+module Reg_lin = Lin_check.Make (Reg_spec)
+
+let run_reconfig reconfig_mode_name spares updaters updates scanners scans
+    sched_name seed_base seeds check nemesis_name net_nemesis_name net_rate
+    replicas reconfig_nemesis_name replica_death_max expect_violations shrink
+    replay_file json_file =
+  let module A = Psnap.Net.Abd in
+  let module R = Psnap.Net.Reconfig in
+  if replicas < 1 then (
+    Printf.eprintf "--replicas must be >= 1\n";
+    exit 2);
+  if spares < 0 then (
+    Printf.eprintf "--spares must be >= 0\n";
+    exit 2);
+  if updaters < 1 then (
+    Printf.eprintf "--reconfig needs at least one updater (writer)\n";
+    exit 2);
+  let rmode =
+    match reconfig_mode_name with
+    | "fenced" -> R.Fenced
+    | "naive" -> R.Naive
+    | s ->
+      Printf.eprintf "unknown --reconfig %S (choose from: off, fenced, naive)\n"
+        s;
+      exit 2
+  in
+  let clients = updaters + scanners in
+  let pool = replicas + spares in
+  let nprocs = clients + pool + 1 (* + membership manager *) in
+  let member_pids = List.init replicas (fun i -> clients + i) in
+  let all_nodes = List.init nprocs Fun.id in
+  let scanner_pids = List.init scanners (fun j -> updaters + j) in
+  let updater_pids = List.init updaters (fun i -> i) in
+  Metrics.reset_net ();
+  Metrics.reset_serving ();
+  Metrics.reset_reconfig ();
+  let violations = ref 0 in
+  let lost_writes = ref 0 in
+  let inversions = ref 0 in
+  let lin_fails = ref 0 in
+  let lin_skipped = ref 0 in
+  let unavailable_ops = ref 0 in
+  let total_crashes = ref 0 in
+  let total_restarts = ref 0 in
+  let total_steps = ref 0 in
+  let total_injected = ref 0 in
+  let total_absorbed = ref 0 in
+  let total_reconfigs = ref 0 in
+  let max_epoch = ref 0 in
+  let failing_schedule = ref None in
+  let run_once ~record_trace ~sched =
+    Sim.reset_prerun_oids ();
+    let cl = A.cluster ~clients ~replicas ~spares ~with_manager:true () in
+    let rc = R.attach ~mode:rmode cl in
+    let regs =
+      Array.init updaters (fun w ->
+          A.Sim_mem.make ~name:(Printf.sprintf "reconfig.reg.%d" w) 0)
+    in
+    let hists =
+      Array.init updaters (fun _ -> History.create ~now:Sim.mark ())
+    in
+    let last_acked = Array.make updaters 0 in
+    let viols = ref [] in
+    let dbg = Sys.getenv_opt "PSNAP_RECONFIG_DEBUG" <> None in
+    let writer pid () =
+      let halted = ref false in
+      for k = 1 to updates do
+        if not !halted then
+          try
+            ignore
+              (History.record hists.(pid) ~pid (Reg_spec.Rwrite k) (fun () ->
+                   A.Sim_mem.write regs.(pid) k;
+                   Reg_spec.Rack));
+            last_acked.(pid) <- k;
+            if dbg then
+              Printf.printf "[%d] writer %d acked %d (epoch %d)\n" (Sim.mark ())
+                pid k (A.client_epoch cl ~pid)
+          with Psnap.Net.Unavailable _ ->
+            incr unavailable_ops;
+            halted := true;
+            if dbg then
+              Printf.printf "[%d] writer %d UNAVAILABLE at %d (epoch %d)\n"
+                (Sim.mark ()) pid k (A.client_epoch cl ~pid)
+      done;
+      try
+        match
+          History.record hists.(pid) ~pid Reg_spec.Rread (fun () ->
+              Reg_spec.Rval (A.Sim_mem.read regs.(pid)))
+        with
+        | Reg_spec.Rval v when v < last_acked.(pid) ->
+          if dbg then
+            Printf.printf "[%d] writer %d read-back %d (acked %d)\n"
+              (Sim.mark ()) pid v last_acked.(pid);
+          incr lost_writes;
+          viols :=
+            Printf.sprintf
+              "writer %d: read-back %d below last acked write %d (LOST WRITE)"
+              pid v last_acked.(pid)
+            :: !viols
+        | _ -> ()
+      with Psnap.Net.Unavailable _ -> incr unavailable_ops
+    in
+    let reader pid () =
+      let lastseen = Array.make updaters 0 in
+      for j = 1 to scans do
+        let w = (pid + j) mod updaters in
+        try
+          match
+            History.record hists.(w) ~pid Reg_spec.Rread (fun () ->
+                Reg_spec.Rval (A.Sim_mem.read regs.(w)))
+          with
+          | Reg_spec.Rval v ->
+            if dbg then
+              Printf.printf "[%d] reader %d read reg%d = %d (epoch %d)\n"
+                (Sim.mark ()) pid w v (A.client_epoch cl ~pid);
+            if v < lastseen.(w) then begin
+              incr inversions;
+              viols :=
+                Printf.sprintf
+                  "reader %d: register %d went backwards %d -> %d (stale \
+                   quorum)"
+                  pid w lastseen.(w) v
+                :: !viols
+            end
+            else lastseen.(w) <- v
+          | _ -> ()
+        with Psnap.Net.Unavailable _ -> incr unavailable_ops
+      done
+    in
+    let procs =
+      Array.init nprocs (fun pid ->
+          if pid < updaters then A.wrap_client cl ~pid (writer pid)
+          else if pid < clients then A.wrap_client cl ~pid (reader pid)
+          else if pid < clients + pool then
+            A.replica_body cl ~index:(pid - clients)
+          else R.manager_body rc)
+    in
+    (* Crashed clients restart only to close their session; crashed
+       replicas resume from their durable store cell; a crashed manager
+       re-drives any interrupted reconfiguration from its durable state. *)
+    let recover =
+      Some
+        (fun ~pid ~incarnation:_ ->
+          if pid < clients then A.close_client cl ~pid
+          else if pid < clients + pool then
+            A.replica_body cl ~index:(pid - clients)
+          else R.manager_body rc)
+    in
+    let res = Sim.run ~record_trace ?recover ~sched procs in
+    R.detach rc;
+    let inj, abs_ = Psnap.Net.Transport.Sim.fault_counts () in
+    total_injected := !total_injected + inj;
+    total_absorbed := !total_absorbed + abs_;
+    total_reconfigs := !total_reconfigs + R.reconfig_count rc;
+    for pid = 0 to clients - 1 do
+      max_epoch := max !max_epoch (A.client_epoch cl ~pid)
+    done;
+    if check then
+      Array.iteri
+        (fun w h ->
+          match Reg_lin.check ~init:0 (History.entries h) with
+          | true -> ()
+          | false ->
+            incr lin_fails;
+            viols :=
+              Printf.sprintf "register %d: history not linearizable" w
+              :: !viols
+          | exception Reg_lin.Too_long n ->
+            incr lin_skipped;
+            Printf.printf "lin check skipped for register %d (%d entries)\n" w
+              n)
+        hists;
+    (res, List.rev !viols)
+  in
+  let reconfig_nemesis_of ~seed base =
+    match reconfig_nemesis_name with
+    | "none" -> base
+    | "replica_death" ->
+      Scheduler.replica_death ~seed ~victims:member_pids ~rate:0.01
+        ~max_deaths:replica_death_max base
+    | "rolling_restart" ->
+      Scheduler.rolling_restart ~victims:member_pids ~start_at:60 ~gap:120
+        ~down_for:80 base
+    | "config_churn" ->
+      Scheduler.config_churn ~seed ~rate:0.004 ~max_reconfigs:2 base
+    | "split_brain" ->
+      (* The E21 recipe.  Writer 0's link to the last initial member is
+         cut for the whole run (that member's copy of each of writer 0's
+         writes hangs in flight), one churned rotation swaps the first
+         member for a spare, and the other initial members — a majority —
+         die permanently.  Unfenced, the old quorum keeps committing
+         writer 0's writes after the rotation's state transfer; readers
+         chased onto the new configuration by the deaths meet the
+         transfer snapshot (the swapped-in spare) plus the cut member's
+         pre-cut state, both predating those commits — the lost write.
+         Fenced, the same schedule seals the old epoch first, so writer 0
+         either commits under the new epoch or goes Unavailable. *)
+      let majority = (replicas / 2) + 1 in
+      let death_victims = List.filteri (fun i _ -> i < majority) member_pids in
+      let survivor = clients + replicas - 1 in
+      Scheduler.config_churn ~seed ~rate:0.01 ~max_reconfigs:1
+        (Scheduler.replica_death ~seed:(seed + 1) ~victims:death_victims
+           ~rate:0.0005 ~max_deaths:majority
+           (Scheduler.heal_after ~victim:0 ~peers:[ survivor ] ~at_clock:40
+              ~after:1_000_000 base))
+    | s ->
+      Printf.eprintf
+        "unknown --reconfig-nemesis %S (choose from: none, replica_death, \
+         rolling_restart, config_churn, split_brain)\n"
+        s;
+      exit 2
+  in
+  let net_nemesis_of ~seed base =
+    let inflight = Psnap.Net.Transport.Sim.inflight_links in
+    match net_nemesis_name with
+    | "none" -> base
+    | "partition_storm" ->
+      Scheduler.partition_storm ~seed ~nodes:all_nodes ~rate:net_rate
+        ~heal_after:4000 base
+    | "dup_flood" -> Scheduler.dup_flood ~seed ~inflight ~rate:net_rate base
+    | "lag_spike" -> Scheduler.lag_spike ~seed ~inflight ~rate:net_rate base
+    | s ->
+      Printf.eprintf
+        "unknown --net-nemesis %S under --reconfig (choose from: none, \
+         partition_storm, dup_flood, lag_spike)\n"
+        s;
+      exit 2
+  in
+  let sched_for ~seed =
+    let w = sched_of sched_name ~scanner_pids ~updater_pids ~seed in
+    let w = nemesis_of nemesis_name ~seed w in
+    let w = net_nemesis_of ~seed w in
+    reconfig_nemesis_of ~seed w
+  in
+  let fallback = Scheduler.round_robin () in
+  let replay_sched decisions =
+    Scheduler.replay_decisions ~lenient:true ~fallback decisions
+  in
+  let fails decisions =
+    match run_once ~record_trace:false ~sched:(replay_sched decisions) with
+    | _, viols -> viols <> []
+    | exception _ -> true
+  in
+  let account (res : Sim.result) viols =
+    total_crashes := !total_crashes + List.length res.crashed;
+    total_restarts :=
+      !total_restarts
+      + Array.fold_left (fun a i -> a + (i - 1)) 0 res.incarnations;
+    total_steps := !total_steps + res.clock;
+    violations := !violations + List.length viols
+  in
+  let replaying = replay_file <> None && not shrink in
+  let runs =
+    match replay_file with
+    | Some path when replaying ->
+      let decisions = Shrink.load path in
+      Printf.printf "replaying %d decisions from %s\n"
+        (List.length decisions) path;
+      let res, viols =
+        run_once ~record_trace:false ~sched:(replay_sched decisions)
+      in
+      account res viols;
+      List.iter (fun v -> Printf.printf "  %s\n" v) viols;
+      1
+    | _ ->
+      for s = 0 to seeds - 1 do
+        let seed = seed_base + s in
+        match run_once ~record_trace:shrink ~sched:(sched_for ~seed) with
+        | res, viols ->
+          account res viols;
+          if viols <> [] then begin
+            Printf.printf "seed %d: %d violations\n" seed (List.length viols);
+            List.iter (fun v -> Printf.printf "  %s\n" v) viols;
+            if shrink && !failing_schedule = None then
+              failing_schedule := Some (Trace.schedule res.trace)
+          end
+        | exception e ->
+          incr violations;
+          Printf.printf "seed %d: harness crash: %s\n" seed
+            (Printexc.to_string e)
+      done;
+      seeds
+  in
+  let rm = Metrics.reconfig () in
+  let nm = Metrics.net () in
+  let shrunk_len =
+    match !failing_schedule with
+    | None -> None
+    | Some schedule ->
+      if not (fails schedule) then begin
+        Printf.printf
+          "shrink: recorded schedule does not reproduce deterministically; \
+           skipping\n";
+        None
+      end
+      else begin
+        let minimal, calls = Shrink.minimize ~oracle:fails schedule in
+        Printf.printf "shrink: %d decisions -> %d minimal (%d oracle runs)\n"
+          (List.length schedule) (List.length minimal) calls;
+        List.iter
+          (fun d -> print_endline (Scheduler.decision_to_string d))
+          minimal;
+        Option.iter
+          (fun path ->
+            Shrink.save path minimal;
+            Printf.printf "shrink: minimal schedule saved to %s\n" path)
+          replay_file;
+        Some (List.length minimal)
+      end
+  in
+  Printf.printf
+    "reconfiguration (%s) over ABD quorum registers: %d writers + %d \
+     readers, %d replicas + %d spares, %s, %d runs%s%s%s\n"
+    (if rmode = R.Naive then "NAIVE (no epoch fence)" else "epoch-fenced")
+    updaters scanners replicas spares sched_name runs
+    (if nemesis_name <> "none" then ", nemesis " ^ nemesis_name else "")
+    (if net_nemesis_name <> "none" then ", net-nemesis " ^ net_nemesis_name
+     else "")
+    (if reconfig_nemesis_name <> "none" then
+       ", reconfig-nemesis " ^ reconfig_nemesis_name
+     else "");
+  Printf.printf
+    "faults: %d crashes, %d restarts; net effects: %d injected, %d absorbed\n"
+    !total_crashes !total_restarts !total_injected !total_absorbed;
+  Printf.printf "reconfigurations: %d completed; highest epoch adopted by a \
+                 client: %d\n"
+    !total_reconfigs !max_epoch;
+  Fmt.pr "%a@." Metrics.pp_reconfig rm;
+  Fmt.pr "%a@." Metrics.pp_net nm;
+  let sv = Metrics.serving () in
+  Printf.printf
+    "unavailability: %d ops gave up; breaker: %d opens, %d half-opens, %d \
+     closes\n"
+    !unavailable_ops sv.Metrics.breaker_opens sv.Metrics.breaker_half_opens
+    sv.Metrics.breaker_closes;
+  Option.iter
+    (fun path ->
+      write_json path
+        [
+          ("mem", "\"net\"");
+          ("reconfig", Printf.sprintf "%S" reconfig_mode_name);
+          ("replicas", string_of_int replicas);
+          ("spares", string_of_int spares);
+          ("sched", Printf.sprintf "%S" sched_name);
+          ("nemesis", Printf.sprintf "%S" nemesis_name);
+          ("net_nemesis", Printf.sprintf "%S" net_nemesis_name);
+          ("reconfig_nemesis", Printf.sprintf "%S" reconfig_nemesis_name);
+          ("seed_base", string_of_int seed_base);
+          ("runs", string_of_int runs);
+          ("steps", string_of_int !total_steps);
+          ("crashes", string_of_int !total_crashes);
+          ("restarts", string_of_int !total_restarts);
+          ("violations", string_of_int !violations);
+          ("lost_writes", string_of_int !lost_writes);
+          ("inversions", string_of_int !inversions);
+          ("lin_violations", string_of_int !lin_fails);
+          ("lin_skipped", string_of_int !lin_skipped);
+          ("reconfigs", string_of_int rm.Metrics.reconfigs);
+          ("seals", string_of_int rm.Metrics.seals);
+          ("transfers", string_of_int rm.Metrics.transfers);
+          ("activations", string_of_int rm.Metrics.activations);
+          ("stale_rejects", string_of_int rm.Metrics.stale_rejects);
+          ("epoch_chases", string_of_int rm.Metrics.epoch_chases);
+          ("suspicions", string_of_int rm.Metrics.suspicions);
+          ("replacements", string_of_int rm.Metrics.replacements);
+          ("churn_requests", string_of_int rm.Metrics.churn_requests);
+          ("naive_swaps", string_of_int rm.Metrics.naive_swaps);
+          ("max_epoch", string_of_int !max_epoch);
+          ("net_faults_injected", string_of_int !total_injected);
+          ("net_faults_absorbed", string_of_int !total_absorbed);
+          ("unavailable_ops", string_of_int !unavailable_ops);
+          ( "shrunk_schedule_len",
+            match shrunk_len with Some l -> string_of_int l | None -> "null" );
+        ];
+      Printf.printf "json summary written to %s\n" path)
+    json_file;
+  (* The lost-write and monotonicity oracles are always on (they are the
+     campaign's reason to exist); --check additionally runs the exact
+     per-register linearizability check. *)
+  if expect_violations then
+    if !violations > 0 then begin
+      Printf.printf
+        "checker: %d violations (expected: the naive mode swaps membership \
+         without the epoch fence)\n"
+        !violations;
+      0
+    end
+    else begin
+      Printf.printf "checker: NO violations, but --expect-violations was \
+                     given\n";
+      1
+    end
+  else if !violations = 0 then begin
+    Printf.printf
+      "checker: all %d executions safe across reconfiguration (lost-write + \
+       monotonicity%s)\n"
+      runs
+      (if check then " + per-register linearizability" else "");
+    0
+  end
+  else begin
+    Printf.printf "checker: %d VIOLATIONS\n" !violations;
+    1
+  end
+
 let rec run impl_name shards m r updaters updates scanners scans sched_name
     seed_base seeds check crash_at nemesis_name mem_faults_arg mem_rate
     mem_max expect_violations shrink replay_file json_file stick_epoch
     stall_shard slow_pid max_rounds power_loss_arg checkpoint_every wal_mode
-    mem_backend replicas net_nemesis_name net_mode_name net_rate txn_mode =
+    mem_backend replicas net_nemesis_name net_mode_name net_rate txn_mode
+    reconfig_mode_name spares reconfig_nemesis_name replica_death_max =
+  if reconfig_mode_name <> "off" then
+    (* the reconfiguration campaign is its own harness over the net
+       backend; --impl and --mem are ignored *)
+    run_reconfig reconfig_mode_name spares updaters updates scanners scans
+      sched_name seed_base seeds check nemesis_name net_nemesis_name net_rate
+      replicas reconfig_nemesis_name replica_death_max expect_violations
+      shrink replay_file json_file
+  else
   if mem_backend = "net" then begin
     if
       List.mem impl_name
@@ -1348,7 +1814,8 @@ let rec run impl_name shards m r updaters updates scanners scans sched_name
     end;
     run_net impl_name m r updaters updates scanners scans sched_name
       seed_base seeds check nemesis_name net_nemesis_name net_mode_name
-      net_rate replicas expect_violations shrink replay_file json_file
+      net_rate replicas power_loss_arg expect_violations shrink replay_file
+      json_file
   end
   else if mem_backend <> "sim" then begin
     Printf.eprintf "unknown --mem %S (choose from: sim, net)\n" mem_backend;
@@ -1897,6 +2364,51 @@ let net_rate =
     & info [ "net-rate" ] ~docv:"P"
         ~doc:"Per-decision-point injection probability for --net-nemesis.")
 
+let reconfig_mode =
+  Arg.(
+    value & opt string "off"
+    & info [ "reconfig" ] ~docv:"MODE"
+        ~doc:
+          "Online-reconfiguration campaign over the net backend \
+           (docs/MODEL.md section 16): $(b,off), $(b,fenced) (sound: seal \
+           the old configuration, state-transfer under the new epoch, \
+           epoch-fence stale requests) or $(b,naive) (deliberately \
+           unsound: membership swaps without the fence — a write \
+           concurrent with the transfer can be lost; pair with \
+           $(b,--expect-violations)).  Writers are $(b,--updaters) x \
+           $(b,--updates), readers $(b,--scanners) x $(b,--scans).")
+
+let spares =
+  Arg.(
+    value & opt int 2
+    & info [ "spares" ] ~docv:"N"
+        ~doc:
+          "($(b,--reconfig) only) Spare pool replicas available for \
+           promotion by replacement and rotation configurations.")
+
+let reconfig_nemesis =
+  Arg.(
+    value & opt string "none"
+    & info [ "reconfig-nemesis" ] ~docv:"NAME"
+        ~doc:
+          "($(b,--reconfig) only) Membership fault injector: $(b,none), \
+           $(b,replica_death) (seeded permanent crashes of initial \
+           members, capped by $(b,--replica-death)), \
+           $(b,rolling_restart) (deterministic maintenance roll), \
+           $(b,config_churn) (seeded Reconfig decisions — rotations \
+           under load), $(b,split_brain) (one churned rotation plus \
+           permanent death of a majority of the initial members — the \
+           E21 recipe).  Composable with $(b,--nemesis), \
+           $(b,--net-nemesis) and $(b,--shrink).")
+
+let replica_death_max =
+  Arg.(
+    value & opt int 1
+    & info [ "replica-death" ] ~docv:"N"
+        ~doc:
+          "Maximum permanent replica deaths injected by \
+           $(b,--reconfig-nemesis replica_death).")
+
 let txn_mode =
   Arg.(
     value & opt string "fcw"
@@ -1918,6 +2430,7 @@ let cmd =
       $ replay_file $ json_file $ stick_epoch $ stall_shard $ slow_pid
       $ max_rounds $ power_loss_arg $ checkpoint_every $ wal_mode
       $ mem_backend $ replicas $ net_nemesis $ net_mode $ net_rate
-      $ txn_mode)
+      $ txn_mode $ reconfig_mode $ spares $ reconfig_nemesis
+      $ replica_death_max)
 
 let () = exit (Cmd.eval' cmd)

@@ -302,6 +302,10 @@ module Net = struct
   module Transport = Psnap_net.Net
   module Abd = Psnap_net.Net_abd
 
+  (** Online reconfiguration (docs/MODEL.md §16): epoch-fenced membership
+      changes, replica replacement, health-based suspicion. *)
+  module Reconfig = Psnap_net.Net_reconfig
+
   exception Unavailable = Psnap_net.Net_abd.Unavailable
 end
 

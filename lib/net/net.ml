@@ -244,6 +244,36 @@ module Mc = struct
     in
     take ()
 
+  (* Single-park receive: at most one condition-wait, so a dead peer can
+     only cost the caller one wake-up cycle per call instead of an
+     unbounded sleep.  [recv_wait]'s reply-always-in-flight invariant
+     breaks once replicas can die permanently; bounded attempt budgets
+     above this primitive restore the give-up-as-Unavailable discipline. *)
+  let recv_wait1 t ~self ~should_stop =
+    if self < 0 || self >= t.nodes then
+      invalid_arg "Net.Mc.recv_wait1: node out of range";
+    Mutex.lock t.locks.(self);
+    let deliver m =
+      Mutex.unlock t.locks.(self);
+      Metrics.note_deliver ();
+      Some m
+    in
+    match Queue.take_opt t.inboxes.(self) with
+    | Some m -> deliver m
+    | None ->
+        if should_stop () then begin
+          Mutex.unlock t.locks.(self);
+          None
+        end
+        else begin
+          Condition.wait t.conds.(self) t.locks.(self);
+          match Queue.take_opt t.inboxes.(self) with
+          | Some m -> deliver m
+          | None ->
+              Mutex.unlock t.locks.(self);
+              None
+        end
+
   (* Wake every waiter (used by a cluster shutting down: set the stop flag
      first, then broadcast). *)
   let wake_all t =

@@ -67,7 +67,16 @@ module Mc : sig
   val recv_wait : 'm t -> self:int -> should_stop:(unit -> bool) -> 'm option
   (** Block on the inbox condition until a message arrives or
       [should_stop ()] holds; [None] only when stopped with an empty
-      inbox.  Wake-ups for a flipped stop flag come from {!wake_all}. *)
+      inbox.  Wake-ups for a flipped stop flag come from {!wake_all}.
+      Only safe when a reply is guaranteed to be in flight — with
+      permanent replica failures, prefer {!recv_wait1}. *)
+
+  val recv_wait1 : 'm t -> self:int -> should_stop:(unit -> bool) -> 'm option
+  (** Like {!recv_wait} but parks at most one condition-wait: a wake-up
+      that finds the inbox empty returns [None] instead of re-parking, so
+      a caller's attempt budget bounds the total wait even when the
+      awaited replica is permanently dead.  Pair with a periodic
+      {!wake_all} ticker to guarantee forward progress. *)
 
   val wake_all : 'm t -> unit
   (** Broadcast every inbox condition (call after setting a stop flag). *)

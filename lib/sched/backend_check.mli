@@ -1,0 +1,4 @@
+(** Compile-time check that {!Mem_sim} satisfies [Psnap_mem.Mem_intf.S],
+    the shared-memory signature the algorithms are functorized over.  The
+    check lives entirely in the implementation (an anonymous module
+    constraint); nothing is exported. *)

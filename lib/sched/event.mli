@@ -1,4 +1,5 @@
-(** Events recorded by the simulator when tracing is enabled. *)
+(** Events recorded by the simulator when tracing is enabled, and the
+    fault-kind vocabularies shared by the scheduler's decision grammar. *)
 
 type mem_op = Read | Write | Cas | Faa
 
@@ -53,67 +54,32 @@ type t =
       (** a network fault was injected into the directed link [src → dst] *)
   | Reconfig of { clock : int }
       (** a reconfiguration was requested of the replicated service's
-          membership manager (docs/MODEL.md §16); like the other fault
-          decisions it is absorbed — recorded without effect — when no
-          manager is listening, so it stays playable under replay and
-          ddmin *)
+          membership manager (docs/MODEL.md §16); absorbed — recorded
+          without effect — when no manager is listening *)
 
-let pp_mem_op ppf = function
-  | Read -> Fmt.string ppf "read"
-  | Write -> Fmt.string ppf "write"
-  | Cas -> Fmt.string ppf "cas"
-  | Faa -> Fmt.string ppf "f&a"
+val pp_mem_op : Format.formatter -> mem_op -> unit
 
-let all_fault_kinds = [ Lost_write; Stale_read; Corrupt; Stuck_cell ]
+(** All memory-fault kinds, in a fixed order (per-kind counter reports
+    iterate it). *)
+val all_fault_kinds : fault_kind list
 
-(* The verbs double as the schedule-file syntax ("corrupt 5"). *)
-let fault_kind_to_string = function
-  | Lost_write -> "lose"
-  | Stale_read -> "stale"
-  | Corrupt -> "corrupt"
-  | Stuck_cell -> "stick"
+(** The verbs double as the schedule-file syntax (["corrupt 5"]). *)
+val fault_kind_to_string : fault_kind -> string
 
-let fault_kind_of_string = function
-  | "lose" -> Some Lost_write
-  | "stale" -> Some Stale_read
-  | "corrupt" -> Some Corrupt
-  | "stick" -> Some Stuck_cell
-  | _ -> None
+val fault_kind_of_string : string -> fault_kind option
 
-let pp_fault_kind ppf k = Fmt.string ppf (fault_kind_to_string k)
+val pp_fault_kind : Format.formatter -> fault_kind -> unit
 
-let all_net_fault_kinds = [ Drop_msg; Dup_msg; Delay_msg; Cut_link; Heal_link ]
+(** All network-fault kinds, in a fixed order. *)
+val all_net_fault_kinds : net_fault_kind list
 
-(* The verbs double as the schedule-file syntax ("netdrop 0 3"); prefixed
-   so they can never collide with the memory-fault verbs, which share the
-   decision grammar. *)
-let net_fault_kind_to_string = function
-  | Drop_msg -> "netdrop"
-  | Dup_msg -> "netdup"
-  | Delay_msg -> "netdelay"
-  | Cut_link -> "netcut"
-  | Heal_link -> "netheal"
+(** The verbs double as the schedule-file syntax (["netdrop 0 3"]);
+    prefixed so they can never collide with the memory-fault verbs, which
+    share the decision grammar. *)
+val net_fault_kind_to_string : net_fault_kind -> string
 
-let net_fault_kind_of_string = function
-  | "netdrop" -> Some Drop_msg
-  | "netdup" -> Some Dup_msg
-  | "netdelay" -> Some Delay_msg
-  | "netcut" -> Some Cut_link
-  | "netheal" -> Some Heal_link
-  | _ -> None
+val net_fault_kind_of_string : string -> net_fault_kind option
 
-let pp_net_fault_kind ppf k = Fmt.string ppf (net_fault_kind_to_string k)
+val pp_net_fault_kind : Format.formatter -> net_fault_kind -> unit
 
-let pp ppf = function
-  | Step { pid; oid; obj_name; op; clock } ->
-    Fmt.pf ppf "%6d p%d %a %s#%d" clock pid pp_mem_op op obj_name oid
-  | Crash { pid; clock } -> Fmt.pf ppf "%6d p%d CRASH" clock pid
-  | Restart { pid; incarnation; clock } ->
-    Fmt.pf ppf "%6d p%d RESTART (incarnation %d)" clock pid incarnation
-  | Mem_fault { kind; oid; clock } ->
-    Fmt.pf ppf "%6d MEM-FAULT %a cell#%d" clock pp_fault_kind kind oid
-  | Power_loss { clock } -> Fmt.pf ppf "%6d POWER-LOSS" clock
-  | Net_fault { kind; src; dst; clock } ->
-    Fmt.pf ppf "%6d NET-FAULT %a link %d->%d" clock pp_net_fault_kind kind src
-      dst
-  | Reconfig { clock } -> Fmt.pf ppf "%6d RECONFIG" clock
+val pp : Format.formatter -> t -> unit

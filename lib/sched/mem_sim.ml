@@ -251,6 +251,10 @@ let make ?(name = "r") v = alloc ~plain:false name v
 
 let make_plain ?(name = "r") v = alloc ~plain:true name v
 
+let oid r = r.oid
+
+let name r = r.name
+
 (* ---- happens-before hooks (docs/MODEL.md §12) ----
 
    Called when an access *executes* (after [Sim.step] resumes), with the

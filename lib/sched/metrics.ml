@@ -425,6 +425,101 @@ let pp_net ppf n =
     n.resends n.writebacks n.writeback_skips n.unavailable
     (mean_quorum_wait n)
 
+(** {2 Reconfiguration counters} *)
+
+(* Global counters bumped by the Psnap_net membership layer
+   (docs/MODEL.md §16).  Same discipline as the other counter groups:
+   plain references — exact under the cooperative simulator, approximate
+   (unsynchronized increments) under the multi-domain loadgen,
+   observability only. *)
+
+let r_reconfigs = ref 0
+
+let r_seals = ref 0
+
+let r_transfers = ref 0
+
+let r_activations = ref 0
+
+let r_stale_rejects = ref 0
+
+let r_epoch_chases = ref 0
+
+let r_suspicions = ref 0
+
+let r_replacements = ref 0
+
+let r_churn_requests = ref 0
+
+let r_naive_swaps = ref 0
+
+type reconfig = {
+  reconfigs : int;
+  seals : int;
+  transfers : int;
+  activations : int;
+  stale_rejects : int;
+  epoch_chases : int;
+  suspicions : int;
+  replacements : int;
+  churn_requests : int;
+  naive_swaps : int;
+}
+
+let reconfig () =
+  {
+    reconfigs = !r_reconfigs;
+    seals = !r_seals;
+    transfers = !r_transfers;
+    activations = !r_activations;
+    stale_rejects = !r_stale_rejects;
+    epoch_chases = !r_epoch_chases;
+    suspicions = !r_suspicions;
+    replacements = !r_replacements;
+    churn_requests = !r_churn_requests;
+    naive_swaps = !r_naive_swaps;
+  }
+
+let reset_reconfig () =
+  r_reconfigs := 0;
+  r_seals := 0;
+  r_transfers := 0;
+  r_activations := 0;
+  r_stale_rejects := 0;
+  r_epoch_chases := 0;
+  r_suspicions := 0;
+  r_replacements := 0;
+  r_churn_requests := 0;
+  r_naive_swaps := 0
+
+let note_reconfig () = incr r_reconfigs
+
+let note_seal () = incr r_seals
+
+let note_transfer ~registers = r_transfers := !r_transfers + registers
+
+let note_activation () = incr r_activations
+
+let note_stale_reject () = incr r_stale_rejects
+
+let note_epoch_chase () = incr r_epoch_chases
+
+let note_suspicion () = incr r_suspicions
+
+let note_replacement () = incr r_replacements
+
+let note_churn_request () = incr r_churn_requests
+
+let note_naive_swap () = incr r_naive_swaps
+
+let pp_reconfig ppf r =
+  Format.fprintf ppf
+    "reconfig: reconfigs=%d seals=%d transfers=%d activations=%d \
+     stale-rejects=%d epoch-chases=%d suspicions=%d replacements=%d \
+     churn-requests=%d naive-swaps=%d"
+    r.reconfigs r.seals r.transfers r.activations r.stale_rejects
+    r.epoch_chases r.suspicions r.replacements r.churn_requests r.naive_swaps
+
 (** {2 Transaction counters} *)
 
 (* Global counters bumped by the Psnap_txn MVCC layer (docs/MODEL.md §15).

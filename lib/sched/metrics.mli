@@ -217,6 +217,59 @@ val mean_quorum_wait : net -> float
 
 val pp_net : Format.formatter -> net -> unit
 
+(** {2 Reconfiguration counters}
+
+    Global counters bumped by the [Psnap_net] membership layer
+    (docs/MODEL.md §16): reconfigurations completed end-to-end, the seal /
+    state-transfer / activation phases executed, stale requests fenced off
+    by epoch tags, clients chasing a newer configuration after a fence
+    rejection, health-layer suspicions and the replacement configurations
+    they proposed, scheduler-driven churn requests, and the unfenced swaps
+    of the deliberately-unsound [naive] mode.  Same discipline as the
+    other groups: plain references — exact under the cooperative
+    simulator, approximate under the multi-domain loadgen. *)
+
+type reconfig = {
+  reconfigs : int;  (** reconfigurations completed end-to-end *)
+  seals : int;  (** old configurations sealed (phase 1) *)
+  transfers : int;  (** registers state-transferred to a new epoch *)
+  activations : int;  (** new configurations activated (phase 2) *)
+  stale_rejects : int;  (** requests a replica fenced off by epoch *)
+  epoch_chases : int;  (** client retries after adopting a newer config *)
+  suspicions : int;  (** replicas suspected by the health layer *)
+  replacements : int;  (** replacement configurations auto-proposed *)
+  churn_requests : int;  (** {!Scheduler.Reconfig} decisions accepted *)
+  naive_swaps : int;  (** unfenced membership swaps ([naive] mode) *)
+}
+
+val reconfig : unit -> reconfig
+
+val reset_reconfig : unit -> unit
+
+(** Bump API used by [Psnap_net.Net_reconfig]. *)
+
+val note_reconfig : unit -> unit
+
+val note_seal : unit -> unit
+
+val note_transfer : registers:int -> unit
+
+val note_activation : unit -> unit
+
+val note_stale_reject : unit -> unit
+
+val note_epoch_chase : unit -> unit
+
+val note_suspicion : unit -> unit
+
+val note_replacement : unit -> unit
+
+val note_churn_request : unit -> unit
+
+val note_naive_swap : unit -> unit
+
+val pp_reconfig : Format.formatter -> reconfig -> unit
+
 (** {2 Transaction counters}
 
     Global counters bumped by the [Psnap_txn] MVCC layer (docs/MODEL.md

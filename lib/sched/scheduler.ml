@@ -61,6 +61,12 @@ type decision =
           fault budget like {!Crash}.  Absorbed (recorded, no effect) when
           the link has no matching in-flight message or link state, so the
           decision is always playable under replay and ddmin *)
+  | Reconfig
+      (** ask the replicated service's membership manager to propose a
+          replacement configuration (docs/MODEL.md §16); charged to the
+          fault budget like {!Crash}.  Absorbed (recorded, no effect) when
+          no manager is listening or the manager is already mid-handoff,
+          so the decision is always playable under replay and ddmin *)
   | Stop  (** abandon the run (explorer ran out of forced choices) *)
 
 type t = { name : string; pick : view -> decision }
@@ -84,6 +90,7 @@ let decision_to_string = function
   | Power_loss -> "powerloss"
   | Net_fault { kind; src; dst } ->
     Printf.sprintf "%s %d %d" (Event.net_fault_kind_to_string kind) src dst
+  | Reconfig -> "reconfig"
   | Stop -> "stop"
 
 let decision_of_string s =
@@ -92,6 +99,7 @@ let decision_of_string s =
   | [ "crash"; p ] -> Crash (int_of_string p)
   | [ "restart"; p ] -> Restart (int_of_string p)
   | [ "powerloss" ] -> Power_loss
+  | [ "reconfig" ] -> Reconfig
   | [ "stop" ] -> Stop
   | [ verb; oid ] when Event.fault_kind_of_string verb <> None ->
     Mem_fault
@@ -217,6 +225,9 @@ let replay_decisions ?(lenient = false) ?fallback decisions =
         (* A net fault against a link with no matching in-flight message is
            absorbed by the transport, so the decision is always playable. *)
         | Net_fault _ -> true
+        (* A reconfiguration request with no manager listening (or one
+           already mid-handoff) is absorbed; always playable. *)
+        | Reconfig -> true
         | Stop -> true
       in
       if applicable then (
@@ -895,3 +906,85 @@ let lag_spike ~seed ~inflight ?(rate = 0.02) ?(burst = 4) ?(max_spikes = 6)
     drain queue inner v
   in
   { name = Printf.sprintf "lag-spike(%d)+%s" seed inner.name; pick }
+
+(* ---- permanent-failure nemeses (docs/MODEL.md §16) ---- *)
+
+(** Seeded permanent replica deaths: with probability [rate] at each
+    decision point (at most [max_deaths] per run), crash a uniformly
+    chosen runnable pid of [victims] — and never restart it.  The machine
+    is gone for good; recovering the {e service} is the membership
+    layer's job, not the scheduler's.  Composing this nemesis with one
+    that restarts from [view.crashed] (e.g. {!crash_storm}) would undo
+    the permanence; compose with {!partition_storm}/{!config_churn}
+    instead. *)
+let replica_death ~seed ~victims ?(rate = 0.01) ?(max_deaths = 1) inner =
+  if victims = [] then invalid_arg "Scheduler.replica_death: no victims";
+  let st = Random.State.make [| seed; 0xDEAD |] in
+  let killed = ref 0 in
+  let pick v =
+    if
+      !killed < max_deaths
+      && Array.length v.runnable > 1
+      && Random.State.float st 1.0 < rate
+    then begin
+      let alive = List.filter (fun p -> is_runnable v p) victims in
+      match alive with
+      | [] -> inner.pick v
+      | _ ->
+        let p = List.nth alive (Random.State.int st (List.length alive)) in
+        incr killed;
+        Crash p
+    end
+    else inner.pick v
+  in
+  { name = Printf.sprintf "replica-death(%d)+%s" seed inner.name; pick }
+
+(** Deterministic rolling restart: crash each pid of [victims] in turn —
+    the first once the clock reaches [start_at], each subsequent one [gap]
+    ticks after the previous victim came back — keeping each down for
+    [down_for] ticks before restarting it.  At most one victim is down at
+    a time, the maintenance-window discipline of a rolling upgrade.
+    Composed over a run without a recovery function the first crash is
+    permanent and the roll stops (nemesis convention). *)
+let rolling_restart ~victims ?(start_at = 40) ?(gap = 40) ?(down_for = 40)
+    inner =
+  let rest = ref victims in
+  let state = ref (`Armed start_at) in
+  let pick v =
+    match (!state, !rest) with
+    | `Armed at, p :: _ when v.clock >= at && is_runnable v p ->
+      state := `Down v.clock;
+      Crash p
+    | `Down c, p :: tl
+      when is_restartable v p
+           && (v.clock >= c + down_for || Array.length v.runnable = 0) ->
+      (* When nothing is runnable the clock is frozen: restart now rather
+         than livelock. *)
+      rest := tl;
+      state := `Armed (v.clock + gap);
+      Restart p
+    | _ -> inner.pick v
+  in
+  { name = inner.name ^ "+rolling-restart"; pick }
+
+(** Seeded configuration churn: with probability [rate] at each decision
+    point (at most [max_reconfigs] per run), emit a {!Reconfig} decision —
+    asking the membership manager to propose a replacement configuration
+    even though nothing failed.  Layer it over {!partition_storm} to
+    reconfigure mid-partition, the handoff-under-split-brain-pressure
+    scenario epoch fencing exists for. *)
+let config_churn ~seed ?(rate = 0.004) ?(max_reconfigs = 3) inner =
+  let st = Random.State.make [| seed; 0xC0F6 |] in
+  let count = ref 0 in
+  let pick v =
+    if
+      !count < max_reconfigs
+      && Array.length v.runnable > 0
+      && Random.State.float st 1.0 < rate
+    then begin
+      incr count;
+      Reconfig
+    end
+    else inner.pick v
+  in
+  { name = Printf.sprintf "config-churn(%d)+%s" seed inner.name; pick }

@@ -55,6 +55,12 @@ type decision =
           fault budget like {!Crash}.  Absorbed (recorded, no effect) when
           the link has no matching in-flight message or link state, so the
           decision is always playable under replay and ddmin *)
+  | Reconfig
+      (** ask the replicated service's membership manager to propose a
+          replacement configuration (docs/MODEL.md §16); charged to the
+          fault budget like {!Crash}.  Absorbed (recorded, no effect) when
+          no manager is listening or the manager is already mid-handoff,
+          so the decision is always playable under replay and ddmin *)
   | Stop  (** abandon the run *)
 
 type t = { name : string; pick : view -> decision }
@@ -75,8 +81,8 @@ val is_restartable : view -> int -> bool
     memory-fault verbs ["lose 5"], ["stale 5"], ["corrupt 5"], ["stick 5"]
     (verb + cell oid), the network-fault verbs ["netdrop 0 3"],
     ["netdup 0 3"], ["netdelay 0 3"], ["netcut 0 3"], ["netheal 0 3"]
-    (verb + src node + dst node) and ["powerloss"], one decision per
-    line. *)
+    (verb + src node + dst node), ["powerloss"] and ["reconfig"], one
+    decision per line. *)
 
 val decision_to_string : decision -> string
 
@@ -306,3 +312,33 @@ val lag_spike :
   ?max_spikes:int ->
   t ->
   t
+
+(** {2 Permanent-failure nemeses} — machines that never come back, and the
+    membership churn that repairs the {e service} around them
+    (docs/MODEL.md §16). *)
+
+(** Seeded permanent replica deaths: with probability [rate] (default
+    0.01) at each decision point — at most [max_deaths] (default 1) per
+    run — crash a uniformly chosen runnable pid of [victims], never to be
+    restarted.  Never crashes the last runnable process.  Do not compose
+    with a nemesis that restarts from [view.crashed] (it would undo the
+    permanence).
+    @raise Invalid_argument if [victims] is empty. *)
+val replica_death :
+  seed:int -> victims:int list -> ?rate:float -> ?max_deaths:int -> t -> t
+
+(** Deterministic rolling restart over [victims], one at a time: crash the
+    first once the clock reaches [start_at] (default 40), keep each victim
+    down [down_for] (default 40) ticks, and crash the next [gap] (default
+    40) ticks after the previous one came back — a maintenance-window
+    roll.  Requires a recovery function; without one the first crash is
+    permanent and the roll stops. *)
+val rolling_restart :
+  victims:int list -> ?start_at:int -> ?gap:int -> ?down_for:int -> t -> t
+
+(** Seeded configuration churn: with probability [rate] (default 0.004) at
+    each decision point — at most [max_reconfigs] (default 3) per run —
+    emit a {!Reconfig} decision asking the membership manager to propose a
+    replacement configuration even though nothing failed.  Layer it over
+    {!partition_storm} to reconfigure mid-partition. *)
+val config_churn : seed:int -> ?rate:float -> ?max_reconfigs:int -> t -> t

@@ -158,6 +158,18 @@ let net_fault_dispatcher :
 
 let set_net_fault_dispatcher f = net_fault_dispatcher := Some f
 
+(* Reconfiguration requests are applied by the replicated service's
+   membership manager, which owns the configuration register;
+   [Psnap_net.Net_reconfig] installs its dispatcher per cluster.  The
+   dispatcher returns [true] when a reconfiguration was proposed, [false]
+   when the request was absorbed (no manager, or one already
+   mid-handoff). *)
+let reconfig_dispatcher : (unit -> bool) option ref = ref None
+
+let set_reconfig_dispatcher f = reconfig_dispatcher := Some f
+
+let clear_reconfig_dispatcher () = reconfig_dispatcher := None
+
 (* Performed by Mem_sim before executing a shared access.  The access itself
    is the code that runs after [continue]: suspension point first, operation
    on resumption. *)
@@ -337,6 +349,18 @@ let run ?(record_trace = false) ?(max_steps = 50_000_000) ?recover ~sched
           if t.record_trace then
             t.trace <-
               Event.Net_fault { kind; src; dst; clock = t.clock } :: t.trace;
+          loop ()
+        | Scheduler.Reconfig ->
+          (* Like a net fault: advances the fault counter, not the clock.
+             Absorbed (still recorded) when no membership manager is
+             listening. *)
+          t.faults <- t.faults + 1;
+          if t.faults > t.max_steps then raise (Out_of_steps t.clock);
+          (match !reconfig_dispatcher with
+          | Some apply -> ignore (apply ())
+          | None -> ());
+          if t.record_trace then
+            t.trace <- Event.Reconfig { clock = t.clock } :: t.trace;
           loop ()
         | Scheduler.Power_loss ->
           (* Like a memory fault: advances the fault counter, not the

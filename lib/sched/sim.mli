@@ -148,6 +148,22 @@ val set_power_loss_dispatcher : (unit -> int) -> unit
 val set_net_fault_dispatcher :
   (Event.net_fault_kind -> src:int -> dst:int -> bool) -> unit
 
+(** {2 Reconfiguration dispatch}
+
+    Reconfiguration requests ({!Scheduler.Reconfig}) are applied by the
+    replicated service's membership manager, which owns the configuration
+    register; [Psnap_net.Net_reconfig] installs its dispatcher per
+    cluster (and clears it when the cluster is torn down).  The
+    dispatcher returns [true] when a reconfiguration was proposed,
+    [false] when the request was absorbed (manager already mid-handoff).
+    A reconfig decision with no dispatcher installed is recorded but
+    touches nothing — absorption keeps every recorded decision replayable
+    under ddmin. *)
+
+val set_reconfig_dispatcher : (unit -> bool) -> unit
+
+val clear_reconfig_dispatcher : unit -> unit
+
 (** Globally unique id of the currently executing run, or [None] outside
     any run.  Serials are never reused, so {!Mem_sim}'s strict mode can
     tell a cell born in an earlier run from one of the current run.

@@ -15,7 +15,7 @@ let steps (trace : Event.t list) =
     (function
       | Event.Step _ as e -> Some e
       | Event.Crash _ | Event.Restart _ | Event.Mem_fault _ | Event.Power_loss _
-      | Event.Net_fault _ ->
+      | Event.Net_fault _ | Event.Reconfig _ ->
         None)
     trace
 
@@ -26,7 +26,7 @@ let steps_by_pid trace =
     (fun m -> function
       | Event.Step { pid; _ } -> bump pid m
       | Event.Crash _ | Event.Restart _ | Event.Mem_fault _ | Event.Power_loss _
-      | Event.Net_fault _ ->
+      | Event.Net_fault _ | Event.Reconfig _ ->
         m)
     Int_map.empty trace
   |> Int_map.bindings
@@ -39,7 +39,7 @@ let steps_by_object trace =
           (fun n -> Some (1 + Option.value ~default:0 n))
           m
       | Event.Crash _ | Event.Restart _ | Event.Mem_fault _ | Event.Power_loss _
-      | Event.Net_fault _ ->
+      | Event.Net_fault _ | Event.Reconfig _ ->
         m)
     Obj_map.empty trace
   |> Obj_map.bindings
@@ -55,7 +55,7 @@ let context_switches trace =
     | Event.Step { pid; _ } :: rest ->
       go (Some pid) (match last with Some p when p <> pid -> n + 1 | _ -> n) rest
     | ( Event.Crash _ | Event.Restart _ | Event.Mem_fault _
-      | Event.Power_loss _ | Event.Net_fault _ )
+      | Event.Power_loss _ | Event.Net_fault _ | Event.Reconfig _ )
       :: rest ->
       go last n rest
   in
@@ -66,7 +66,7 @@ let crashes trace =
     (function
       | Event.Crash { pid; _ } -> Some pid
       | Event.Step _ | Event.Restart _ | Event.Mem_fault _ | Event.Power_loss _
-      | Event.Net_fault _ ->
+      | Event.Net_fault _ | Event.Reconfig _ ->
         None)
     trace
 
@@ -75,7 +75,7 @@ let restarts trace =
     (function
       | Event.Restart { pid; _ } -> Some pid
       | Event.Step _ | Event.Crash _ | Event.Mem_fault _ | Event.Power_loss _
-      | Event.Net_fault _ ->
+      | Event.Net_fault _ | Event.Reconfig _ ->
         None)
     trace
 
@@ -84,7 +84,7 @@ let mem_faults trace =
     (function
       | Event.Mem_fault { kind; oid; _ } -> Some (kind, oid)
       | Event.Step _ | Event.Crash _ | Event.Restart _ | Event.Power_loss _
-      | Event.Net_fault _ ->
+      | Event.Net_fault _ | Event.Reconfig _ ->
         None)
     trace
 
@@ -93,13 +93,18 @@ let net_faults trace =
     (function
       | Event.Net_fault { kind; src; dst; _ } -> Some (kind, src, dst)
       | Event.Step _ | Event.Crash _ | Event.Restart _ | Event.Mem_fault _
-      | Event.Power_loss _ ->
+      | Event.Power_loss _ | Event.Reconfig _ ->
         None)
     trace
 
 let power_losses trace =
   List.fold_left
     (fun n -> function Event.Power_loss _ -> n + 1 | _ -> n)
+    0 trace
+
+let reconfigs trace =
+  List.fold_left
+    (fun n -> function Event.Reconfig _ -> n + 1 | _ -> n)
     0 trace
 
 (* The slice of a recorded execution spanning a race's two program points
@@ -113,7 +118,8 @@ let race_window ~from_clock ~until_clock trace =
     | Event.Restart { clock; _ }
     | Event.Mem_fault { clock; _ }
     | Event.Power_loss { clock }
-    | Event.Net_fault { clock; _ } ->
+    | Event.Net_fault { clock; _ }
+    | Event.Reconfig { clock } ->
       clock
   in
   List.filter
@@ -131,7 +137,8 @@ let schedule trace =
       | Event.Mem_fault { kind; oid; _ } -> Scheduler.Mem_fault { kind; oid }
       | Event.Power_loss _ -> Scheduler.Power_loss
       | Event.Net_fault { kind; src; dst; _ } ->
-        Scheduler.Net_fault { kind; src; dst })
+        Scheduler.Net_fault { kind; src; dst }
+      | Event.Reconfig _ -> Scheduler.Reconfig)
     trace
 
 let pp ppf trace = List.iter (Fmt.pf ppf "%a@." Event.pp) trace

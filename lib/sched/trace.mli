@@ -32,6 +32,9 @@ val mem_faults : Event.t list -> (Event.fault_kind * int) list
 (** Number of power-loss events in the trace. *)
 val power_losses : Event.t list -> int
 
+(** Number of reconfiguration-request events in the trace. *)
+val reconfigs : Event.t list -> int
+
 (** Network-fault events as [(kind, src, dst)], in execution order. *)
 val net_faults : Event.t list -> (Event.net_fault_kind * int * int) list
 

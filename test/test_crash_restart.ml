@@ -136,7 +136,8 @@ let trace_signature res =
       | Event.Restart { pid; clock; _ } -> (pid, Event.Write, -clock)
       | Event.Mem_fault { oid; clock; _ } -> (oid, Event.Cas, -clock)
       | Event.Power_loss { clock } -> (-1, Event.Faa, -clock)
-      | Event.Net_fault { src; dst; clock; _ } -> (src + dst, Event.Faa, -clock))
+      | Event.Net_fault { src; dst; clock; _ } -> (src + dst, Event.Faa, -clock)
+      | Event.Reconfig { clock } -> (-2, Event.Faa, -clock))
     res.Sim.trace
 
 let test_chaos_deterministic () =

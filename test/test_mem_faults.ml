@@ -35,7 +35,7 @@ let test_corrupt_flips_immediate () =
   let seen = ref 0 in
   let body () = seen := M.read r in
   ignore
-    (Sim.run ~sched:(forced [ fault Event.Corrupt r.M.oid; Scheduler.Run 0 ])
+    (Sim.run ~sched:(forced [ fault Event.Corrupt (M.oid r); Scheduler.Run 0 ])
        [| body |]);
   check_int "low bit flipped" 40 !seen;
   let c = M.fault_counts Event.Corrupt in
@@ -49,7 +49,7 @@ let test_corrupt_garbles_block () =
   let seen = ref (0, "") in
   let body () = seen := M.read r in
   ignore
-    (Sim.run ~sched:(forced [ fault Event.Corrupt r.M.oid; Scheduler.Run 0 ])
+    (Sim.run ~sched:(forced [ fault Event.Corrupt (M.oid r); Scheduler.Run 0 ])
        [| body |]);
   (* the duplicated block has its first immediate field bit-flipped; the
      rest is intact *)
@@ -67,7 +67,7 @@ let test_lost_write_drops_next_write () =
     (Sim.run
        ~sched:
          (forced
-            [ fault Event.Lost_write r.M.oid; Scheduler.Run 0; Scheduler.Run 0 ])
+            [ fault Event.Lost_write (M.oid r); Scheduler.Run 0; Scheduler.Run 0 ])
        [| body |]);
   check_int "write vanished" 0 !seen;
   check_int "fired" 1 (M.fault_counts Event.Lost_write).M.fired
@@ -84,7 +84,7 @@ let test_acked_but_lost_cas () =
     (Sim.run
        ~sched:
          (forced
-            [ fault Event.Lost_write r.M.oid; Scheduler.Run 0; Scheduler.Run 0 ])
+            [ fault Event.Lost_write (M.oid r); Scheduler.Run 0; Scheduler.Run 0 ])
        [| body |]);
   check_bool "CAS acknowledged" true !ok;
   check_int "nothing installed" 0 !seen
@@ -105,7 +105,7 @@ let test_stale_read_serves_history_once () =
             [
               Scheduler.Run 0;
               Scheduler.Run 0;
-              fault Event.Stale_read r.M.oid;
+              fault Event.Stale_read (M.oid r);
               Scheduler.Run 0;
               Scheduler.Run 0;
             ])
@@ -117,7 +117,7 @@ let test_stale_read_needs_history () =
   let r = fresh_cell () in
   let body () = ignore (M.read r) in
   ignore
-    (Sim.run ~sched:(forced [ fault Event.Stale_read r.M.oid; Scheduler.Run 0 ])
+    (Sim.run ~sched:(forced [ fault Event.Stale_read (M.oid r); Scheduler.Run 0 ])
        [| body |]);
   (* no superseded value exists: the decision is absorbed, not armed *)
   let c = M.fault_counts Event.Stale_read in
@@ -138,7 +138,7 @@ let test_stuck_cell_refuses_writes_forever () =
        ~sched:
          (forced
             [
-              fault Event.Stuck_cell r.M.oid;
+              fault Event.Stuck_cell (M.oid r);
               Scheduler.Run 0;
               Scheduler.Run 0;
               Scheduler.Run 0;
@@ -149,7 +149,7 @@ let test_stuck_cell_refuses_writes_forever () =
   check_int "two writes refused" 2 (M.fault_counts Event.Stuck_cell).M.fired;
   (* a second stick of the same cell has no effect *)
   ignore
-    (Sim.run ~sched:(forced [ fault Event.Stuck_cell r.M.oid; Scheduler.Run 0 ])
+    (Sim.run ~sched:(forced [ fault Event.Stuck_cell (M.oid r); Scheduler.Run 0 ])
        [| (fun () -> ignore (M.read r)) |]);
   check_int "re-stick absorbed" 1 (M.fault_counts Event.Stuck_cell).M.absorbed
 
@@ -195,12 +195,12 @@ let test_trace_records_and_replays_faults () =
   in
   let r1 = mk () in
   let decisions =
-    [ fault Event.Corrupt r1.M.oid; Scheduler.Run 0; Scheduler.Run 0 ]
+    [ fault Event.Corrupt (M.oid r1); Scheduler.Run 0; Scheduler.Run 0 ]
   in
   let res1 = Sim.run ~record_trace:true ~sched:(forced decisions) [| body r1 |] in
   let faults_in_trace = Trace.mem_faults res1.trace in
   check_bool "fault event recorded" true
-    (faults_in_trace = [ (Event.Corrupt, r1.M.oid) ]);
+    (faults_in_trace = [ (Event.Corrupt, (M.oid r1)) ]);
   (* the schedule extracted from the trace replays the same execution *)
   let sched = Trace.schedule res1.trace in
   let r2 = mk () in

@@ -24,7 +24,7 @@ let check_int = Alcotest.(check int)
 (* One writer bumping a register, one reader polling it: any linearizable
    single-writer register must show the reader a non-decreasing sequence. *)
 let monotone_workload ?(mode = A.Abd) ?(writes = 10) ?(reads = 20)
-    ?(record_trace = false) ~replicas ~sched () =
+    ?(record_trace = false) ?(with_recover = false) ~replicas ~sched () =
   Metrics.reset_net ();
   Sim.reset_prerun_oids ();
   let cl = A.cluster ~mode ~clients:2 ~replicas () in
@@ -52,7 +52,15 @@ let monotone_workload ?(mode = A.Abd) ?(writes = 10) ?(reads = 20)
     |]
   in
   let procs = Array.sub procs 0 (2 + replicas) in
-  let res = Sim.run ~record_trace ~sched procs in
+  let recover =
+    if with_recover then
+      Some
+        (fun ~pid ~incarnation:_ ->
+          if pid < 2 then A.close_client cl ~pid
+          else A.replica_body cl ~index:(pid - 2))
+    else None
+  in
+  let res = Sim.run ~record_trace ?recover ~sched procs in
   (res, List.rev !observed, !gave_up)
 
 let is_monotone vs =
@@ -161,7 +169,8 @@ let trace_signature (res : Sim.result) =
       | Event.Mem_fault { oid; clock; _ } -> (oid, Event.Cas, -clock)
       | Event.Power_loss { clock } -> (-1, Event.Faa, -clock)
       | Event.Net_fault { src; dst; clock; _ } ->
-        (src + dst, Event.Faa, -clock))
+        (src + dst, Event.Faa, -clock)
+      | Event.Reconfig { clock } -> (-2, Event.Faa, -clock))
     res.Sim.trace
 
 let test_replay_deterministic () =
@@ -194,6 +203,129 @@ let test_replay_deterministic () =
   in
   check_bool "identical trace on replay" true
     (trace_signature record = trace_signature replayed)
+
+let test_power_loss_replay_deterministic () =
+  (* A blackout against the net backend: every client and replica halts
+     in the same decision, replicas reboot from their durable store cells
+     (each store write is a completed synchronous step — no un-synced
+     tail to drop), clients restart only to close their sessions.  The
+     recorded schedule must carry the [powerloss] decision and replay to
+     the identical trace, and reads must stay monotone across the
+     blackout (a store cell may never regress). *)
+  let blackout seed =
+    Scheduler.power_loss_at ~at_clock:150
+      (Scheduler.partition_storm ~seed
+         ~nodes:(all_nodes ~clients:2 ~replicas:3)
+         ~rate:0.05 ~heal_after:300
+         (Scheduler.random ~seed ()))
+  in
+  let record =
+    let res, observed, _ =
+      monotone_workload ~record_trace:true ~with_recover:true ~replicas:3
+        ~sched:(blackout 3) ()
+    in
+    check_bool "reads monotone across the blackout" true
+      (is_monotone observed);
+    res
+  in
+  check_bool "the blackout fired" true
+    (List.exists
+       (function Event.Power_loss _ -> true | _ -> false)
+       record.Sim.trace);
+  check_bool "the blackout halted the machine" true
+    (record.Sim.crashed <> []);
+  let decisions = Trace.schedule record.Sim.trace in
+  check_bool "schedule carries the powerloss decision" true
+    (List.exists (fun d -> d = Scheduler.Power_loss) decisions);
+  let replayed =
+    let res, observed, _ =
+      monotone_workload ~record_trace:true ~with_recover:true ~replicas:3
+        ~sched:
+          (Scheduler.replay_decisions ~lenient:true
+             ~fallback:(Scheduler.round_robin ()) decisions)
+        ()
+    in
+    check_bool "replayed reads monotone" true (is_monotone observed);
+    res
+  in
+  check_bool "identical trace on power-loss replay" true
+    (trace_signature record = trace_signature replayed)
+
+(* ---- linearizability of pending-op histories under partition storms ---- *)
+
+module Reg_spec = struct
+  type state = int
+  type op = Rwrite of int | Rread
+  type res = Rack | Rval of int
+
+  let apply s = function
+    | Rwrite v -> (v, Rack)
+    | Rread -> (s, Rval s)
+
+  let equal_res (a : res) (b : res) = a = b
+end
+
+module RL = Lin_check.Make (Reg_spec)
+
+let test_lincheck_under_partition_storm () =
+  (* A partition storm makes some operations give up as [Unavailable]
+     mid-phase: their history entries stay pending, and the Wing–Gong
+     checker must still accept the history — a cut write either reached a
+     quorum before the client gave up (a later read may see it) or it did
+     not.  The storm campaign must actually strand operations, otherwise
+     the pending-op path of the checker was never exercised. *)
+  let clients = 2 and replicas = 3 in
+  let pending_total = ref 0 in
+  let cut_total = ref 0 in
+  for seed = 0 to 9 do
+    Metrics.reset_net ();
+    Sim.reset_prerun_oids ();
+    let sched =
+      Scheduler.partition_storm ~seed
+        ~nodes:(all_nodes ~clients ~replicas)
+        ~rate:0.08 ~heal_after:2500
+        (Scheduler.random ~seed ())
+    in
+    let cl = A.cluster ~clients ~replicas () in
+    let r = NM.make ~name:"sx" 0 in
+    let hist = History.create ~now:Sim.mark () in
+    let attempt f = try f () with Psnap.Net.Unavailable _ -> () in
+    let writer () =
+      for k = 1 to 10 do
+        attempt (fun () ->
+            ignore
+              (History.record hist ~pid:0 (Reg_spec.Rwrite k) (fun () ->
+                   NM.write r k;
+                   Reg_spec.Rack)))
+      done
+    in
+    let reader () =
+      for _ = 1 to 20 do
+        attempt (fun () ->
+            ignore
+              (History.record hist ~pid:1 Reg_spec.Rread (fun () ->
+                   Reg_spec.Rval (NM.read r))))
+      done
+    in
+    let procs =
+      Array.init (clients + replicas) (fun pid ->
+          if pid = 0 then A.wrap_client cl ~pid writer
+          else if pid = 1 then A.wrap_client cl ~pid reader
+          else A.replica_body cl ~index:(pid - clients))
+    in
+    let _ = Sim.run ~sched procs in
+    let entries = History.entries hist in
+    pending_total :=
+      !pending_total
+      + List.length (List.filter History.is_pending entries);
+    cut_total := !cut_total + (Metrics.net ()).Metrics.cuts;
+    check_bool
+      (Printf.sprintf "seed %d: stormed ABD history linearizable" seed)
+      true
+      (RL.check ~init:0 entries)
+  done;
+  check_bool "the storm really cut links" true (!cut_total > 0);
+  check_bool "some operations were stranded pending" true (!pending_total > 0)
 
 (* ---- the committed E19 witness ---- *)
 
@@ -285,6 +417,10 @@ let () =
             test_quorum_loss_unavailable_not_hang;
           Alcotest.test_case "replay deterministic" `Quick
             test_replay_deterministic;
+          Alcotest.test_case "lin check under partition storm (10 seeds)"
+            `Quick test_lincheck_under_partition_storm;
+          Alcotest.test_case "power-loss replay deterministic" `Quick
+            test_power_loss_replay_deterministic;
         ] );
       ( "e19",
         [

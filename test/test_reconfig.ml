@@ -1,0 +1,259 @@
+(* Tests of online reconfiguration (lib/net Net_reconfig): epoch-fenced
+   membership changes under churn stay linearizable, permanent replica
+   deaths drive the suspicion -> replacement -> activation pipeline, the
+   deliberately unsound [Naive] mode really does skip the protocol (so
+   its split-brain witness means something), and the committed E21
+   witness schedule convicts naive mode of a lost acked write while the
+   fenced mode survives the very same schedule. *)
+
+open Psnap
+module A = Psnap.Net.Abd
+module R = Psnap.Net.Reconfig
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Same register spec as bin/simulate.ml's reconfiguration campaign: an
+   int register with blind writes and reads, checked with Wing-Gong. *)
+module Reg_spec = struct
+  type state = int
+  type op = Rwrite of int | Rread
+  type res = Rack | Rval of int
+
+  let apply s = function
+    | Rwrite v -> (v, Rack)
+    | Rread -> (s, Rval s)
+
+  let equal_res (a : res) (b : res) = a = b
+end
+
+module Reg_lin = Lin_check.Make (Reg_spec)
+
+(* Mirror of bin/simulate.ml's run_reconfig workload: [updaters] writers
+   each bumping their own register with a final read-back (lost-write
+   oracle), [scanners] readers checking per-register monotonicity, the
+   replica pool, and the membership manager as the last pid. *)
+let run_workload ~mode ~updaters ~updates ~scanners ~scans ~replicas ~spares
+    ~sched () =
+  Metrics.reset_net ();
+  Metrics.reset_serving ();
+  Metrics.reset_reconfig ();
+  Sim.reset_prerun_oids ();
+  let clients = updaters + scanners in
+  let pool = replicas + spares in
+  let nprocs = clients + pool + 1 in
+  let cl = A.cluster ~clients ~replicas ~spares ~with_manager:true () in
+  let rc = R.attach ~mode cl in
+  let regs =
+    Array.init updaters (fun w ->
+        A.Sim_mem.make ~name:(Printf.sprintf "reconfig.reg.%d" w) 0)
+  in
+  let hists = Array.init updaters (fun _ -> History.create ~now:Sim.mark ()) in
+  let last_acked = Array.make updaters 0 in
+  let viols = ref [] in
+  let writer pid () =
+    let halted = ref false in
+    for k = 1 to updates do
+      if not !halted then
+        try
+          ignore
+            (History.record hists.(pid) ~pid (Reg_spec.Rwrite k) (fun () ->
+                 A.Sim_mem.write regs.(pid) k;
+                 Reg_spec.Rack));
+          last_acked.(pid) <- k
+        with Psnap.Net.Unavailable _ -> halted := true
+    done;
+    try
+      match
+        History.record hists.(pid) ~pid Reg_spec.Rread (fun () ->
+            Reg_spec.Rval (A.Sim_mem.read regs.(pid)))
+      with
+      | Reg_spec.Rval v when v < last_acked.(pid) ->
+        viols := Printf.sprintf "writer %d: lost acked write" pid :: !viols
+      | _ -> ()
+    with Psnap.Net.Unavailable _ -> ()
+  in
+  let reader pid () =
+    let lastseen = Array.make updaters 0 in
+    for j = 1 to scans do
+      let w = (pid + j) mod updaters in
+      try
+        match
+          History.record hists.(w) ~pid Reg_spec.Rread (fun () ->
+              Reg_spec.Rval (A.Sim_mem.read regs.(w)))
+        with
+        | Reg_spec.Rval v ->
+          if v < lastseen.(w) then
+            viols :=
+              Printf.sprintf "reader %d: register %d went backwards" pid w
+              :: !viols
+          else lastseen.(w) <- v
+        | _ -> ()
+      with Psnap.Net.Unavailable _ -> ()
+    done
+  in
+  let procs =
+    Array.init nprocs (fun pid ->
+        if pid < updaters then A.wrap_client cl ~pid (writer pid)
+        else if pid < clients then A.wrap_client cl ~pid (reader pid)
+        else if pid < clients + pool then
+          A.replica_body cl ~index:(pid - clients)
+        else R.manager_body rc)
+  in
+  let recover =
+    Some
+      (fun ~pid ~incarnation:_ ->
+        if pid < clients then A.close_client cl ~pid
+        else if pid < clients + pool then
+          A.replica_body cl ~index:(pid - clients)
+        else R.manager_body rc)
+  in
+  let _ = Sim.run ?recover ~sched procs in
+  R.detach rc;
+  Array.iteri
+    (fun w h ->
+      match Reg_lin.check ~init:0 (History.entries h) with
+      | true -> ()
+      | false ->
+        viols :=
+          Printf.sprintf "register %d: history not linearizable" w :: !viols
+      | exception Reg_lin.Too_long _ -> ())
+    hists;
+  let max_epoch = ref 0 in
+  for pid = 0 to clients - 1 do
+    max_epoch := max !max_epoch (A.client_epoch cl ~pid)
+  done;
+  (List.rev !viols, R.reconfig_count rc, !max_epoch)
+
+let member_pids ~clients ~replicas = List.init replicas (fun i -> clients + i)
+
+(* ---- fenced churn stays linearizable ---- *)
+
+let test_fenced_churn_linearizable () =
+  (* Repeated member rotations under a random schedule: every seed must
+     stay violation-free, and the campaign as a whole must have really
+     reconfigured (otherwise the test is vacuous). *)
+  let completed = ref 0 in
+  for seed = 0 to 4 do
+    let sched =
+      Scheduler.config_churn ~seed ~rate:0.004 ~max_reconfigs:2
+        (Scheduler.random ~seed ())
+    in
+    let viols, reconfigs, max_epoch =
+      run_workload ~mode:R.Fenced ~updaters:2 ~updates:8 ~scanners:2 ~scans:8
+        ~replicas:3 ~spares:2 ~sched ()
+    in
+    check_bool "fenced churn: no violations" true (viols = []);
+    completed := !completed + reconfigs;
+    if reconfigs > 0 then
+      check_bool "clients adopted a post-churn epoch" true (max_epoch >= 0)
+  done;
+  check_bool "churn campaign completed at least one rotation" true
+    (!completed >= 1)
+
+(* ---- permanent death drives suspicion and replacement ---- *)
+
+let test_replica_death_replacement () =
+  (* One member dies permanently: the manager's probes must suspect it,
+     swap in a spare, and the service must keep answering (the fenced
+     activation shows up as a completed reconfiguration). *)
+  let clients = 4 and replicas = 3 in
+  let suspicions = ref 0 and replacements = ref 0 and completed = ref 0 in
+  for seed = 0 to 4 do
+    let sched =
+      Scheduler.replica_death ~seed
+        ~victims:(member_pids ~clients ~replicas)
+        ~rate:0.01 ~max_deaths:1
+        (Scheduler.random ~seed ())
+    in
+    let viols, reconfigs, _ =
+      run_workload ~mode:R.Fenced ~updaters:2 ~updates:8 ~scanners:2 ~scans:8
+        ~replicas ~spares:2 ~sched ()
+    in
+    check_bool "death + replacement: no violations" true (viols = []);
+    let rm = Metrics.reconfig () in
+    suspicions := !suspicions + rm.Metrics.suspicions;
+    replacements := !replacements + rm.Metrics.replacements;
+    completed := !completed + reconfigs
+  done;
+  check_bool "probes suspected the dead member" true (!suspicions > 0);
+  check_bool "a spare was proposed as replacement" true (!replacements > 0);
+  check_bool "a replacement configuration activated" true (!completed > 0)
+
+(* ---- naive mode really skips the protocol ---- *)
+
+let test_naive_skips_protocol () =
+  (* The unsound mode must swap memberships without sealing and without
+     fencing — zero seals and zero stale rejects is what makes its
+     split-brain witness an indictment of the missing protocol rather
+     than of some partially-applied one. *)
+  let swaps = ref 0 in
+  for seed = 0 to 4 do
+    let sched =
+      Scheduler.config_churn ~seed ~rate:0.004 ~max_reconfigs:2
+        (Scheduler.random ~seed ())
+    in
+    let _viols, _reconfigs, _ =
+      run_workload ~mode:R.Naive ~updaters:2 ~updates:8 ~scanners:2 ~scans:8
+        ~replicas:3 ~spares:2 ~sched ()
+    in
+    let rm = Metrics.reconfig () in
+    swaps := !swaps + rm.Metrics.naive_swaps;
+    check_int "naive mode never seals" 0 rm.Metrics.seals;
+    check_int "naive replicas never fence" 0 rm.Metrics.stale_rejects
+  done;
+  check_bool "churn really swapped memberships" true (!swaps >= 1)
+
+(* ---- the committed E21 witness ---- *)
+
+let e21_witness =
+  if Sys.file_exists "schedules/e21-reconfig-naive.sched" then
+    "schedules/e21-reconfig-naive.sched"
+  else "../schedules/e21-reconfig-naive.sched"
+
+(* Replay at the campaign's exact parameters: 1 updater x 20 updates,
+   2 scanners x 3 scans, 3 replicas + 2 spares (the schedule's crash,
+   netcut and reconfig decisions carry the split-brain nemesis; the
+   fallback covers decision exhaustion). *)
+let replay_witness ~mode =
+  let decisions = Shrink.load e21_witness in
+  check_bool "witness committed and shrunk" true
+    (decisions <> [] && List.length decisions <= 600);
+  let sched =
+    Scheduler.replay_decisions ~lenient:true
+      ~fallback:(Scheduler.round_robin ()) decisions
+  in
+  let viols, _, _ =
+    run_workload ~mode ~updaters:1 ~updates:20 ~scanners:2 ~scans:3
+      ~replicas:3 ~spares:2 ~sched ()
+  in
+  viols
+
+let test_e21_witness_kills_naive_mode () =
+  let viols = replay_witness ~mode:R.Naive in
+  check_bool "naive reconfiguration loses an acked write" true (viols <> [])
+
+let test_e21_witness_clean_on_fenced () =
+  let viols = replay_witness ~mode:R.Fenced in
+  check_bool "epoch fencing survives the same schedule" true (viols = [])
+
+let () =
+  Alcotest.run "reconfig"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "fenced churn linearizable (5 seeds)" `Quick
+            test_fenced_churn_linearizable;
+          Alcotest.test_case "death -> suspicion -> replacement (5 seeds)"
+            `Quick test_replica_death_replacement;
+          Alcotest.test_case "naive mode skips seal and fence (5 seeds)"
+            `Quick test_naive_skips_protocol;
+        ] );
+      ( "e21",
+        [
+          Alcotest.test_case "witness kills naive mode" `Quick
+            test_e21_witness_kills_naive_mode;
+          Alcotest.test_case "witness clean on fenced" `Quick
+            test_e21_witness_clean_on_fenced;
+        ] );
+    ]
